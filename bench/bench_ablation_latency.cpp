@@ -1,0 +1,50 @@
+// Ablation: network latency sensitivity. The paper's testbed is a Cray
+// Aries network; this sweep scales the remote GET/PUT cost to ask how the
+// Figure 2 ordering changes on slower interconnects (answer: it doesn't —
+// EBR's collapse is node-local contention, QSBR tracks the
+// unsynchronized array at every latency, only absolute throughput moves).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcua::bench;
+  Params p = Params::from_env({.ops_per_task = 2048});
+  p.print_banner(
+      "Ablation: remote-latency sensitivity (8 locales, random indexing)",
+      "(not a paper figure) remote GET/PUT swept from Aries-like to "
+      "commodity-Ethernet-like",
+      "ordering is latency-invariant; QSBR/Chapel ratio stays ~1");
+
+  rcua::util::Table table({"remote_ns", "EBRArray", "QSBRArray",
+                           "ChapelArray", "QSBR/Chapel"});
+  for (const double remote : {1000.0, 4000.0, 16000.0, 64000.0}) {
+    auto& m = rcua::sim::CostModel::mutable_instance();
+    const double saved_get = m.remote_get_ns;
+    const double saved_put = m.remote_put_ns;
+    const double saved_stream = m.remote_stream_ns;
+    m.remote_get_ns = remote;
+    m.remote_put_ns = remote;
+    m.remote_stream_ns = remote / 4.0;
+
+    const double ebr = run_indexing<EbrArrayImpl>(p, 8, Pattern::kRandom);
+    const double qsbr = run_indexing<QsbrArrayImpl>(p, 8, Pattern::kRandom);
+    const double chapel =
+        run_indexing<ChapelArrayImpl>(p, 8, Pattern::kRandom);
+
+    m.remote_get_ns = saved_get;
+    m.remote_put_ns = saved_put;
+    m.remote_stream_ns = saved_stream;
+
+    table.add_row({rcua::util::Table::num(remote),
+                   rcua::util::Table::num(ebr),
+                   rcua::util::Table::num(qsbr),
+                   rcua::util::Table::num(chapel),
+                   rcua::util::Table::fixed(qsbr / chapel, 3)});
+    std::printf("... remote_ns=%.0f done\n", remote);
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\ncsv:\n");
+  table.print_csv(std::cout);
+  return 0;
+}

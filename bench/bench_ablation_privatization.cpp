@@ -1,0 +1,69 @@
+// Ablation: what privatization buys. RCUArray replicates its metadata
+// (snapshot pointer, epoch state, NextLocaleId) on every locale so the
+// access path is node-local (§III-D: "both read and update operations act
+// mostly on node-local metadata"). This bench compares the real array
+// against a modeled *centralized-metadata* variant in which every task on
+// locale != 0 must fetch the snapshot pointer from locale 0 before each
+// access — what the design would cost without chpl_getPrivatizedCopy.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rcua::bench;
+
+/// QSBRArray wrapper that charges a remote metadata fetch per operation
+/// from any locale other than 0.
+struct CentralMetaImpl {
+  static constexpr const char* kName = "CentralMeta";
+  struct type {
+    QsbrArrayImpl::type arr;
+    rcua::rt::Cluster& cluster;
+
+    type(rcua::rt::Cluster& c, std::size_t cap, std::size_t bs)
+        : arr(c, cap, {bs, nullptr}), cluster(c) {}
+
+    void write(std::size_t i, std::uint64_t v) {
+      const std::uint32_t here = cluster.here();
+      if (here != 0) {
+        // GET of the snapshot pointer (and epoch word) from locale 0.
+        cluster.comm().record_access(here, 0, false);
+        rcua::sim::charge(rcua::sim::CostModel::get().remote_stream_ns);
+      }
+      arr.write(i, v);
+    }
+  };
+  static std::unique_ptr<type> make(rcua::rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, bs);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace rcua::bench;
+  Params p = Params::from_env({.ops_per_task = 2048});
+  p.print_banner(
+      "Ablation: privatized vs centralized metadata (random indexing)",
+      "(design choice from paper §III-D / Listing 1 privatization)",
+      "privatized metadata scales with locales; centralized metadata "
+      "adds a remote fetch to every op and the gap widens with locales");
+
+  rcua::util::Table table({"locales", "Privatized", "CentralMeta", "ratio"});
+  for (const std::uint64_t L : p.locales) {
+    const double priv = run_indexing<QsbrArrayImpl>(p, L, Pattern::kRandom);
+    const double central =
+        run_indexing<CentralMetaImpl>(p, L, Pattern::kRandom);
+    table.add_row({std::to_string(L), rcua::util::Table::num(priv),
+                   rcua::util::Table::num(central),
+                   rcua::util::Table::fixed(priv / central, 2)});
+    std::printf("... locales=%llu done\n",
+                static_cast<unsigned long long>(L));
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\ncsv:\n");
+  table.print_csv(std::cout);
+  return 0;
+}

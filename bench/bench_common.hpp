@@ -1,0 +1,211 @@
+#pragma once
+
+// Shared benchmark harness for the paper-figure reproductions.
+//
+// The host is assumed to be a commodity machine, not a Cray: throughput
+// is computed in *virtual time* from the simulation layer (see
+// src/sim/ and DESIGN.md §2) unless RCUA_WALLCLOCK=1 is set. Every
+// parameter is env-overridable:
+//
+//   RCUA_LOCALES          comma list, e.g. "2,4,8,16,32"
+//   RCUA_TASKS_PER_LOCALE default 44 (the paper's per-node task count)
+//   RCUA_OPS_PER_TASK     per-figure default (scaled down from the paper)
+//   RCUA_ARRAY_ELEMS      array capacity for indexing benches
+//   RCUA_BLOCK_SIZE       RCUArray BlockSize (paper uses 1024)
+//   RCUA_SEED             workload RNG seed
+//   RCUA_WALLCLOCK        1 = measure wall time instead of virtual time
+//   RCUA_COST_*           cost-model overrides (see sim/cost_model.hpp)
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcua.hpp"
+#include "platform/rng.hpp"
+#include "platform/timing.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace rcua::bench {
+
+struct Params {
+  std::vector<std::uint64_t> locales{2, 4, 8, 16, 32};
+  std::uint32_t tasks_per_locale = 44;
+  std::uint64_t ops_per_task = 1024;
+  std::uint64_t array_elems = 1ULL << 20;
+  std::size_t block_size = 1024;
+  std::uint64_t seed = 0xC0FFEE;
+  bool wallclock = false;
+
+  static Params from_env(Params defaults) {
+    Params p = defaults;
+    p.locales = util::env_u64_list("RCUA_LOCALES", p.locales);
+    p.tasks_per_locale = static_cast<std::uint32_t>(
+        util::env_u64("RCUA_TASKS_PER_LOCALE", p.tasks_per_locale));
+    p.ops_per_task = util::env_u64("RCUA_OPS_PER_TASK", p.ops_per_task);
+    p.array_elems = util::env_u64("RCUA_ARRAY_ELEMS", p.array_elems);
+    p.block_size = util::env_u64("RCUA_BLOCK_SIZE", p.block_size);
+    p.seed = util::env_u64("RCUA_SEED", p.seed);
+    p.wallclock = util::env_bool("RCUA_WALLCLOCK", p.wallclock);
+    return p;
+  }
+
+  void print_banner(const char* name, const char* paper_workload,
+                    const char* paper_shape) const {
+    std::printf("== %s ==\n", name);
+    std::printf("paper workload : %s\n", paper_workload);
+    std::printf("paper shape    : %s\n", paper_shape);
+    std::printf(
+        "this run       : tasks/locale=%u ops/task=%llu array=%llu "
+        "block=%zu mode=%s\n\n",
+        tasks_per_locale, static_cast<unsigned long long>(ops_per_task),
+        static_cast<unsigned long long>(array_elems), block_size,
+        wallclock ? "wallclock" : "virtual-time");
+  }
+};
+
+enum class Pattern { kRandom, kSequential };
+
+inline const char* pattern_name(Pattern p) {
+  return p == Pattern::kRandom ? "random" : "sequential";
+}
+
+/// Measures one coforall_tasks region: returns aggregate throughput in
+/// operations per second of (virtual or wall) time.
+template <typename Body>
+double measure_tasks(rt::Cluster& cluster, std::uint32_t tasks_per_locale,
+                     std::uint64_t total_ops, bool wallclock, Body&& body) {
+  if (wallclock) {
+    plat::Timer timer;
+    cluster.coforall_tasks(tasks_per_locale, body);
+    const double s = timer.elapsed_s();
+    return s > 0 ? static_cast<double>(total_ops) / s : 0.0;
+  }
+  sim::TaskClock root;
+  {
+    sim::ClockScope scope(root);
+    cluster.coforall_tasks(tasks_per_locale, body);
+  }
+  const double s = static_cast<double>(root.vtime_ns) * 1e-9;
+  return s > 0 ? static_cast<double>(total_ops) / s : 0.0;
+}
+
+// ---- Implementation adapters (uniform construction + naming) ----------
+
+struct EbrArrayImpl {
+  static constexpr const char* kName = "EBRArray";
+  using type = RCUArray<std::uint64_t, EbrPolicy>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, typename type::Options{bs, nullptr});
+  }
+};
+
+struct QsbrArrayImpl {
+  static constexpr const char* kName = "QSBRArray";
+  using type = RCUArray<std::uint64_t, QsbrPolicy>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, typename type::Options{bs, nullptr});
+  }
+};
+
+struct ChapelArrayImpl {
+  static constexpr const char* kName = "ChapelArray";
+  using type = baseline::UnsafeArray<std::uint64_t>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, bs);
+  }
+};
+
+struct SyncArrayImpl {
+  static constexpr const char* kName = "SyncArray";
+  using type = baseline::SyncArray<std::uint64_t>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, bs);
+  }
+};
+
+struct RwlockArrayImpl {
+  static constexpr const char* kName = "RwlockArray";
+  using type = baseline::RwlockArray<std::uint64_t>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, bs);
+  }
+};
+
+struct HazardArrayImpl {
+  static constexpr const char* kName = "HazardArray";
+  using type = baseline::HazardArray<std::uint64_t>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, bs);
+  }
+};
+
+/// The Figure 2 update-indexing workload for one (impl, locale count):
+/// every task performs ops_per_task update operations on random or
+/// sequential indices.
+template <typename Impl>
+double run_indexing(const Params& p, std::uint64_t num_locales,
+                    Pattern pattern) {
+  rt::Cluster cluster({.num_locales = static_cast<std::uint32_t>(num_locales),
+                       .workers_per_locale = p.tasks_per_locale + 2});
+  auto arr = Impl::make(cluster, p.array_elems, p.block_size);
+  const std::uint64_t cap = p.array_elems;
+  const std::uint64_t total_ops = num_locales *
+                                  static_cast<std::uint64_t>(p.tasks_per_locale) *
+                                  p.ops_per_task;
+
+  const double tput = measure_tasks(
+      cluster, p.tasks_per_locale, total_ops, p.wallclock,
+      [&](std::uint32_t l, std::uint32_t t) {
+        const std::uint64_t gid =
+            static_cast<std::uint64_t>(l) * p.tasks_per_locale + t;
+        if (pattern == Pattern::kRandom) {
+          plat::Xoshiro256 rng(plat::mix64(p.seed ^ (gid + 1)));
+          for (std::uint64_t n = 0; n < p.ops_per_task; ++n) {
+            arr->write(rng.next_below(cap), n);
+          }
+        } else {
+          const std::uint64_t start = (gid * p.ops_per_task) % cap;
+          for (std::uint64_t n = 0; n < p.ops_per_task; ++n) {
+            arr->write((start + n) % cap, n);
+          }
+        }
+      });
+
+  // QSBR best case in the paper uses no checkpoints; drop whatever the
+  // construction-time resizes deferred before tearing down.
+  reclaim::Qsbr::global().flush_unsafe();
+  return tput;
+}
+
+/// Runs the full Figure 2 style sweep and prints the table.
+template <typename... Impls>
+void run_indexing_figure(const Params& p, Pattern pattern) {
+  std::vector<std::string> header{"locales"};
+  (header.push_back(Impls::kName), ...);
+  util::Table table(header);
+  for (const std::uint64_t L : p.locales) {
+    std::vector<std::string> row{std::to_string(L)};
+    (row.push_back(util::Table::num(run_indexing<Impls>(p, L, pattern))),
+     ...);
+    table.add_row(std::move(row));
+    std::printf("... locales=%llu done\n",
+                static_cast<unsigned long long>(L));
+  }
+  std::printf("\nthroughput (ops/sec, %s indexing):\n", pattern_name(pattern));
+  table.print(std::cout);
+  std::printf("\ncsv:\n");
+  table.print_csv(std::cout);
+}
+
+}  // namespace rcua::bench

@@ -1,0 +1,17 @@
+// Figure 2b: sequential indexing, 1024 update operations per task, with
+// SyncArray included.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcua::bench;
+  Params p = Params::from_env({.ops_per_task = 1024});
+  p.print_banner(
+      "Figure 2b: Sequential Indexing (1024 operations per task)",
+      "1024 sequential update ops/task, 44 tasks/locale, 2-32 locales",
+      "SyncArray slowest; QSBRArray near-equivalent to ChapelArray on "
+      "predictable access; EBRArray ~4% of ChapelArray");
+  run_indexing_figure<EbrArrayImpl, QsbrArrayImpl, ChapelArrayImpl,
+                      SyncArrayImpl>(p, Pattern::kSequential);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 4: QSBR checkpoint overhead. 44 tasks on a single locale each
+// perform 1M update operations (scaled by default), invoking a QSBR
+// checkpoint every k operations, k swept from 1 upward; EBRArray running
+// the same workload (no checkpoints) is the baseline, as in the paper,
+// which reports QSBR beating EBR even at one checkpoint per operation.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rcua::bench;
+
+double run_qsbr_with_checkpoints(const Params& p,
+                                 std::uint64_t ops_per_checkpoint) {
+  rcua::rt::Cluster cluster(
+      {.num_locales = 1, .workers_per_locale = p.tasks_per_locale + 2});
+  QsbrArrayImpl::type arr(cluster, p.array_elems,
+                          {p.block_size, nullptr});
+  const std::uint64_t cap = p.array_elems;
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(p.tasks_per_locale) * p.ops_per_task;
+
+  const double tput = measure_tasks(
+      cluster, p.tasks_per_locale, total_ops, p.wallclock,
+      [&](std::uint32_t, std::uint32_t t) {
+        const std::uint64_t start =
+            (static_cast<std::uint64_t>(t) * p.ops_per_task) % cap;
+        for (std::uint64_t n = 0; n < p.ops_per_task; ++n) {
+          arr.write((start + n) % cap, n);
+          if (ops_per_checkpoint != 0 && (n + 1) % ops_per_checkpoint == 0) {
+            rcua::reclaim::Qsbr::global().checkpoint();
+          }
+        }
+      });
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+  return tput;
+}
+
+double run_ebr_baseline(const Params& p) {
+  rcua::rt::Cluster cluster(
+      {.num_locales = 1, .workers_per_locale = p.tasks_per_locale + 2});
+  EbrArrayImpl::type arr(cluster, p.array_elems, {p.block_size, nullptr});
+  const std::uint64_t cap = p.array_elems;
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(p.tasks_per_locale) * p.ops_per_task;
+  return measure_tasks(
+      cluster, p.tasks_per_locale, total_ops, p.wallclock,
+      [&](std::uint32_t, std::uint32_t t) {
+        const std::uint64_t start =
+            (static_cast<std::uint64_t>(t) * p.ops_per_task) % cap;
+        for (std::uint64_t n = 0; n < p.ops_per_task; ++n) {
+          arr.write((start + n) % cap, n);
+        }
+      });
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcua::bench;
+  Params p = Params::from_env({.ops_per_task = 100000});
+  p.print_banner(
+      "Figure 4: Overhead of QSBR checkpoints (single locale)",
+      "44 tasks x 1M sequential update ops, checkpoint every k ops, "
+      "k in {1..}; EBRArray throughput from Fig 2d as baseline",
+      "QSBR exceeds EBR even with a checkpoint after every operation; "
+      "throughput rises with ops/checkpoint toward the no-checkpoint "
+      "plateau");
+
+  const auto ks = rcua::util::env_u64_list(
+      "RCUA_CHECKPOINT_SWEEP", {1, 4, 16, 64, 256, 1024, 4096, 16384});
+
+  const double ebr = run_ebr_baseline(p);
+  rcua::util::Table table({"ops/checkpoint", "QSBR", "EBR baseline"});
+  for (const std::uint64_t k : ks) {
+    const double qsbr = run_qsbr_with_checkpoints(p, k);
+    table.add_row({std::to_string(k), rcua::util::Table::num(qsbr),
+                   rcua::util::Table::num(ebr)});
+    std::printf("... ops/checkpoint=%llu done\n",
+                static_cast<unsigned long long>(k));
+  }
+  const double no_cp = run_qsbr_with_checkpoints(p, 0);
+  table.add_row({"none", rcua::util::Table::num(no_cp),
+                 rcua::util::Table::num(ebr)});
+
+  std::printf("\nthroughput (ops/sec):\n");
+  table.print(std::cout);
+  std::printf("\ncsv:\n");
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark, real wall-clock): per-operation
+// cost of the synchronization primitives on THIS host. These are the
+// measured inputs behind several cost-model constants and a regression
+// guard for the fast paths (an accidental seq_cst or extra indirection
+// shows up here immediately).
+
+#include <benchmark/benchmark.h>
+
+#include "platform/spinlock.hpp"
+#include "rcua.hpp"
+
+namespace {
+
+void BM_EbrReadSide(benchmark::State& state) {
+  rcua::reclaim::Ebr ebr;
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebr.read([&]() -> std::uint64_t& { return x; }));
+  }
+}
+BENCHMARK(BM_EbrReadSide);
+
+void BM_EbrSynchronize(benchmark::State& state) {
+  rcua::reclaim::Ebr ebr;
+  for (auto _ : state) ebr.synchronize();
+}
+BENCHMARK(BM_EbrSynchronize);
+
+void BM_QsbrCheckpoint(benchmark::State& state) {
+  rcua::rt::ThreadRegistry registry;
+  rcua::reclaim::Qsbr qsbr(registry);
+  for (auto _ : state) benchmark::DoNotOptimize(qsbr.checkpoint());
+}
+BENCHMARK(BM_QsbrCheckpoint);
+
+void BM_QsbrDeferAndReclaim(benchmark::State& state) {
+  rcua::rt::ThreadRegistry registry;
+  rcua::reclaim::Qsbr qsbr(registry);
+  for (auto _ : state) {
+    qsbr.defer_delete(new int(1));
+    benchmark::DoNotOptimize(qsbr.checkpoint());
+  }
+}
+BENCHMARK(BM_QsbrDeferAndReclaim);
+
+void BM_HazardGuard(benchmark::State& state) {
+  rcua::reclaim::HazardDomain dom;
+  std::atomic<int*> src{new int(7)};
+  for (auto _ : state) {
+    rcua::reclaim::HazardDomain::Guard<int> guard(dom, src);
+    benchmark::DoNotOptimize(*guard);
+  }
+  delete src.load();
+}
+BENCHMARK(BM_HazardGuard);
+
+void BM_Spinlock(benchmark::State& state) {
+  rcua::plat::Spinlock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_Spinlock);
+
+void BM_TicketLock(benchmark::State& state) {
+  rcua::plat::TicketLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_TicketLock);
+
+void BM_Xoshiro(benchmark::State& state) {
+  rcua::plat::Xoshiro256 rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_below(1 << 20));
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_RcuArrayIndexQsbr(benchmark::State& state) {
+  rcua::rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 1});
+  rcua::RCUArray<std::uint64_t, rcua::QsbrPolicy> arr(cluster, 1 << 16);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.index((i++ * 7919) & 0xFFFF));
+  }
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+}
+BENCHMARK(BM_RcuArrayIndexQsbr);
+
+void BM_RcuArrayIndexEbr(benchmark::State& state) {
+  rcua::rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 1});
+  rcua::RCUArray<std::uint64_t, rcua::EbrPolicy> arr(cluster, 1 << 16);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.index((i++ * 7919) & 0xFFFF));
+  }
+}
+BENCHMARK(BM_RcuArrayIndexEbr);
+
+void BM_UnsafeArrayIndex(benchmark::State& state) {
+  rcua::rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 1});
+  rcua::baseline::UnsafeArray<std::uint64_t> arr(cluster, 1 << 16);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.index((i++ * 7919) & 0xFFFF));
+  }
+}
+BENCHMARK(BM_UnsafeArrayIndex);
+
+void BM_RcuCellRead(benchmark::State& state) {
+  rcua::RcuCell<std::uint64_t> cell(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.read([](const std::uint64_t& v) { return v; }));
+  }
+}
+BENCHMARK(BM_RcuCellRead);
+
+void BM_VirtualResourceAcquire(benchmark::State& state) {
+  rcua::sim::VirtualResource res;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t = res.acquire_at(t, 3));
+  }
+}
+BENCHMARK(BM_VirtualResourceAcquire);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// A connection/session descriptor table on DistIdTable: the classic
+// server-side registry workload. Accept tasks allocate session ids,
+// worker tasks look sessions up by id on every locale, reaper tasks
+// release them — while the table's backing RCUArray grows in place.
+//
+//   $ ./examples/connection_table [sessions_per_acceptor]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "rcua.hpp"
+
+namespace {
+
+struct Session {
+  std::uint64_t peer = 0;
+  std::uint64_t opened_at = 0;
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t per_acceptor =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+
+  rcua::rt::Cluster cluster({.num_locales = 4, .workers_per_locale = 6});
+  rcua::cont::DistIdTable<Session> sessions(cluster, {.block_size = 256});
+
+  // A shared published-id pool so lookup tasks only touch live ids.
+  std::mutex pool_mu;
+  std::vector<std::size_t> live_pool;
+
+  std::atomic<std::uint64_t> opened{0}, closed{0}, lookups{0}, bad{0};
+
+  cluster.coforall_tasks(3, [&](std::uint32_t locale, std::uint32_t task) {
+    rcua::plat::Xoshiro256 rng(locale * 31 + task + 7);
+    if (task == 0) {
+      // Acceptor: open sessions, publish their ids.
+      for (std::uint64_t i = 0; i < per_acceptor; ++i) {
+        const std::size_t id = sessions.allocate(
+            Session{.peer = rng.next(), .opened_at = i, .bytes = 0});
+        opened.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> guard(pool_mu);
+          live_pool.push_back(id);
+        }
+        if (i % 512 == 0) rcua::reclaim::Qsbr::global().checkpoint();
+      }
+    } else if (task == 1) {
+      // Worker: account traffic against random live sessions.
+      for (std::uint64_t i = 0; i < per_acceptor * 2; ++i) {
+        std::size_t id;
+        {
+          std::lock_guard<std::mutex> guard(pool_mu);
+          if (live_pool.empty()) continue;
+          id = live_pool[rng.next_below(live_pool.size())];
+        }
+        sessions.get(id).bytes += 64;  // reference write, lock-free path
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        if (i % 512 == 0) rcua::reclaim::Qsbr::global().checkpoint();
+      }
+    } else {
+      // Reaper: close some fraction of sessions.
+      for (std::uint64_t i = 0; i < per_acceptor / 2; ++i) {
+        std::size_t id = ~std::size_t{0};
+        {
+          std::lock_guard<std::mutex> guard(pool_mu);
+          if (live_pool.size() > 16) {
+            id = live_pool.back();
+            live_pool.pop_back();
+          }
+        }
+        if (id != ~std::size_t{0}) {
+          sessions.release(id);
+          closed.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 512 == 0) rcua::reclaim::Qsbr::global().checkpoint();
+      }
+    }
+    rcua::reclaim::Qsbr::global().checkpoint();
+  });
+
+  std::printf("opened=%llu closed=%llu lookups=%llu\n",
+              static_cast<unsigned long long>(opened.load()),
+              static_cast<unsigned long long>(closed.load()),
+              static_cast<unsigned long long>(lookups.load()));
+  std::printf("table: live=%zu high_water=%zu capacity=%zu\n",
+              sessions.live(), sessions.high_water(), sessions.capacity());
+
+  if (sessions.live() != opened.load() - closed.load()) {
+    std::printf("LIVE-COUNT MISMATCH\n");
+    bad.fetch_add(1);
+  }
+  // Ids from the pool must still resolve.
+  std::uint64_t resolved = 0;
+  {
+    std::lock_guard<std::mutex> guard(pool_mu);
+    for (std::size_t id : live_pool) {
+      if (sessions.get(id).opened_at != ~std::uint64_t{0}) ++resolved;
+    }
+    std::printf("resolved %llu/%zu pooled ids\n",
+                static_cast<unsigned long long>(resolved), live_pool.size());
+  }
+  if (bad.load() != 0) {
+    std::printf("FAILED\n");
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// A distributed key-value store on DistHashMap — the "distributed table"
+// application from the paper's conclusion. Writer tasks on every locale
+// insert and update keys while reader tasks query; the table's slab grows
+// through RCUArray's parallel-safe resize whenever collision chains need
+// more overflow slots, without ever pausing readers.
+//
+//   $ ./examples/kv_store [keys]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "rcua.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t num_keys =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+
+  rcua::rt::Cluster cluster({.num_locales = 4, .workers_per_locale = 4});
+  rcua::cont::DistHashMap<std::uint64_t, std::uint64_t> store(
+      cluster, {.num_buckets = 1024, .block_size = 1024});
+
+  // Phase 1: parallel population, two writer tasks per locale, keys
+  // partitioned by task.
+  rcua::plat::Timer timer;
+  cluster.coforall_tasks(2, [&](std::uint32_t locale, std::uint32_t task) {
+    const std::uint64_t writer =
+        static_cast<std::uint64_t>(locale) * 2 + task;
+    for (std::uint64_t k = writer; k < num_keys; k += 8) {
+      store.insert(k, k * 2 + 1);
+      if (k % 4096 < 8) rcua::reclaim::Qsbr::global().checkpoint();
+    }
+    rcua::reclaim::Qsbr::global().checkpoint();
+  });
+  std::printf("populated %llu keys in %.3f s; slab grew %llu times "
+              "(capacity %zu slots)\n",
+              static_cast<unsigned long long>(num_keys), timer.elapsed_s(),
+              static_cast<unsigned long long>(store.growths()),
+              store.slab_capacity());
+
+  // Phase 2: mixed readers + updaters + deleters, concurrent with more
+  // growth-inducing inserts.
+  std::atomic<std::uint64_t> hits{0}, misses{0}, wrong{0};
+  timer.reset();
+  cluster.coforall_tasks(3, [&](std::uint32_t locale, std::uint32_t task) {
+    rcua::plat::Xoshiro256 rng(locale * 100 + task);
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t k = rng.next_below(num_keys * 2);
+      switch (rng.next_below(4)) {
+        case 0:
+          store.insert(k, k * 2 + 1);
+          break;
+        case 1:
+          store.erase(k + num_keys);  // churn the upper half
+          break;
+        default: {
+          const auto v = store.find(k);
+          if (!v) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+          } else if (*v != k * 2 + 1) {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            hits.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+      if (i % 1024 == 0) rcua::reclaim::Qsbr::global().checkpoint();
+    }
+    rcua::reclaim::Qsbr::global().checkpoint();
+  });
+  std::printf("mixed phase: %.3f s, hits=%llu misses=%llu wrong=%llu\n",
+              timer.elapsed_s(), static_cast<unsigned long long>(hits.load()),
+              static_cast<unsigned long long>(misses.load()),
+              static_cast<unsigned long long>(wrong.load()));
+
+  // Verify the permanent keys all survived with correct values.
+  std::uint64_t verified = 0;
+  for (std::uint64_t k = 0; k < num_keys; ++k) {
+    const auto v = store.find(k);
+    if (v && *v == k * 2 + 1) ++verified;
+  }
+  std::printf("verified %llu/%llu permanent keys; table size=%zu\n",
+              static_cast<unsigned long long>(verified),
+              static_cast<unsigned long long>(num_keys), store.size());
+  if (wrong.load() != 0 || verified != num_keys) {
+    std::printf("FAILED\n");
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Render the benchmark CSV blocks in bench_output.txt as ASCII plots.
+
+The bench binaries print every series twice: an aligned table for humans
+and a `csv:` block for tools. This script parses the CSV blocks and draws
+log-scale ASCII charts per figure, mirroring the paper's presentation well
+enough to eyeball shapes next to EXPERIMENTS.md without matplotlib.
+
+Usage:
+    python3 scripts/plot_figures.py [bench_output.txt]
+"""
+
+import math
+import sys
+
+
+def parse_blocks(path):
+    """Yields (title, header, rows) per bench section with a csv block."""
+    title = None
+    blocks = []
+    with open(path, "r", errors="replace") as f:
+        lines = f.read().splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("== ") and line.endswith(" =="):
+            title = line.strip("= ").strip()
+        if line.strip() == "csv:" and i + 1 < len(lines):
+            header = lines[i + 1].split(",")
+            rows = []
+            j = i + 2
+            while j < len(lines) and "," in lines[j]:
+                rows.append(lines[j].split(","))
+                j += 1
+            if rows:
+                blocks.append((title or "(untitled)", header, rows))
+            i = j
+            continue
+        i += 1
+    return blocks
+
+
+def to_float(s):
+    try:
+        return float(s)
+    except ValueError:
+        return None
+
+
+def plot(title, header, rows, width=68, height=16):
+    xs = [r[0] for r in rows]
+    series = {}
+    for col in range(1, len(header)):
+        vals = [to_float(r[col]) if col < len(r) else None for r in rows]
+        if any(v is not None and v > 0 for v in vals):
+            series[header[col]] = vals
+    if not series:
+        return
+
+    all_vals = [v for vs in series.values() for v in vs if v and v > 0]
+    lo, hi = math.log10(min(all_vals)), math.log10(max(all_vals))
+    if hi - lo < 1e-9:
+        hi = lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    marks = "o*x+#@%&"
+    legend = []
+    for si, (name, vals) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        legend.append(f"{mark}={name}")
+        for xi, v in enumerate(vals):
+            if v is None or v <= 0:
+                continue
+            x = int(xi * (width - 1) / max(1, len(vals) - 1))
+            y = int((math.log10(v) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y][x] = mark
+
+    print(f"\n### {title}")
+    print(f"    y: log10 throughput [{10**lo:.2g} .. {10**hi:.2g}]   "
+          f"x: {header[0]} = {', '.join(xs)}")
+    for row in grid:
+        print("    |" + "".join(row))
+    print("    +" + "-" * width)
+    print("    " + "   ".join(legend))
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    blocks = parse_blocks(path)
+    if not blocks:
+        print(f"no csv blocks found in {path}", file=sys.stderr)
+        return 1
+    for title, header, rows in blocks:
+        plot(title, header, rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

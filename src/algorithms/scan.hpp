@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dsi.hpp"
+
+namespace rcua::alg {
+
+/// Distributed parallel prefix operations over a DsiArray: the canonical
+/// three-phase block scan —
+///   1. each locale folds its own blocks to per-block partials (parallel,
+///      locality-aware),
+///   2. the initiator exclusive-scans the block partials (tiny, serial),
+///   3. each locale rewrites its blocks with its block's offset applied
+///      (parallel).
+/// Not safe concurrently with writers or resizes (the iteration space
+/// and values are taken as-of entry), like any bulk transform.
+
+/// In-place inclusive scan: a[i] <- op(a[0..i]). `identity` is op's
+/// neutral element.
+template <typename T, typename Policy, typename Op>
+void inclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
+  const std::size_t n = arr.size();
+  const std::size_t bs = arr.block_size();
+  if (n == 0) return;
+  const std::size_t nblocks = (n + bs - 1) / bs;
+
+  // Phase 1: per-block fold.
+  std::vector<T> block_totals(nblocks, identity);
+  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
+    const std::size_t base = b * bs;
+    if (base >= n) return;
+    const std::size_t limit = n - base < bs ? n - base : bs;
+    T acc = identity;
+    for (std::size_t i = 0; i < limit; ++i) acc = op(acc, blk[i]);
+    block_totals[b] = acc;
+  });
+
+  // Phase 2: exclusive scan of block totals at the initiator.
+  std::vector<T> block_offsets(nblocks, identity);
+  T running = identity;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    block_offsets[b] = running;
+    running = op(running, block_totals[b]);
+  }
+
+  // Phase 3: apply offsets, scanning within each block.
+  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
+    const std::size_t base = b * bs;
+    if (base >= n) return;
+    const std::size_t limit = n - base < bs ? n - base : bs;
+    T acc = block_offsets[b];
+    for (std::size_t i = 0; i < limit; ++i) {
+      acc = op(acc, blk[i]);
+      blk[i] = acc;
+    }
+  });
+}
+
+/// In-place exclusive scan: a[i] <- op(a[0..i-1]), a[0] <- identity.
+template <typename T, typename Policy, typename Op>
+void exclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
+  const std::size_t n = arr.size();
+  const std::size_t bs = arr.block_size();
+  if (n == 0) return;
+  const std::size_t nblocks = (n + bs - 1) / bs;
+
+  std::vector<T> block_totals(nblocks, identity);
+  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
+    const std::size_t base = b * bs;
+    if (base >= n) return;
+    const std::size_t limit = n - base < bs ? n - base : bs;
+    T acc = identity;
+    for (std::size_t i = 0; i < limit; ++i) acc = op(acc, blk[i]);
+    block_totals[b] = acc;
+  });
+
+  std::vector<T> block_offsets(nblocks, identity);
+  T running = identity;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    block_offsets[b] = running;
+    running = op(running, block_totals[b]);
+  }
+
+  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
+    const std::size_t base = b * bs;
+    if (base >= n) return;
+    const std::size_t limit = n - base < bs ? n - base : bs;
+    T acc = block_offsets[b];
+    for (std::size_t i = 0; i < limit; ++i) {
+      const T input = blk[i];
+      blk[i] = acc;
+      acc = op(acc, input);
+    }
+  });
+}
+
+/// Sum of the logical elements (convenience over DsiArray::reduce).
+template <typename T, typename Policy>
+[[nodiscard]] T sum(DsiArray<T, Policy>& arr) {
+  return arr.reduce(
+      T{}, [](T acc, const T& v) { return acc + v; },
+      [](T a, T b) { return a + b; });
+}
+
+}  // namespace rcua::alg

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <shared_mutex>
+#include <utility>
+
+#include "baselines/unsafe_array.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/resource.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rcua::baseline {
+
+/// Reader-writer-lock variant — the half-measure the paper's introduction
+/// dismisses: "Reader-writer locks take a step in the right direction by
+/// allowing concurrent readers, but have the drawback of enforcing mutual
+/// exclusion with a single writer." Readers proceed concurrently, but
+/// every reader still performs an RMW on the shared lock word, so the
+/// read path serializes on the lock's cache line even without a writer —
+/// which is what the ablation bench demonstrates against EBR/QSBR.
+template <typename T>
+class RwlockArray {
+ public:
+  RwlockArray(rt::Cluster& cluster, std::size_t initial_capacity = 0,
+              std::size_t block_size = 1024)
+      : impl_(cluster, initial_capacity, block_size) {}
+
+  RwlockArray(const RwlockArray&) = delete;
+  RwlockArray& operator=(const RwlockArray&) = delete;
+
+  T read(std::size_t i) {
+    charge_reader_rmw();
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    return impl_.read(i);
+  }
+
+  void write(std::size_t i, T value) {
+    charge_reader_rmw();  // shared lock: updates don't exclude each other
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    impl_.write(i, std::move(value));
+  }
+
+  void resize_add(std::size_t num_elements) {
+    const auto& m = sim::CostModel::get();
+    word_.use(m.lock_handoff_ns);  // exclusive acquisition drains readers
+    std::unique_lock<std::shared_mutex> guard(mu_);
+    impl_.resize_add(num_elements);
+    if (sim::enabled()) word_.extend_until(sim::now_v());
+  }
+
+  [[nodiscard]] std::size_t capacity() {
+    std::shared_lock<std::shared_mutex> guard(mu_);
+    return impl_.capacity();
+  }
+
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return impl_.block_size();
+  }
+
+ private:
+  void charge_reader_rmw() {
+    const auto& m = sim::CostModel::get();
+    // Acquire + release both hit the lock word; with a reader on every
+    // core the line is structurally contended.
+    word_.use(m.rmw_transfer_ns);
+    word_.use(m.rmw_transfer_ns);
+  }
+
+  UnsafeArray<T> impl_;
+  std::shared_mutex mu_;
+  sim::VirtualResource word_;
+};
+
+}  // namespace rcua::baseline

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+#include "baselines/unsafe_array.hpp"
+#include "runtime/global_lock.hpp"
+
+namespace rcua::baseline {
+
+/// The paper's SyncArray: the block-distributed array made "safe" the
+/// blunt way — every operation, read or write or resize, takes one
+/// cluster-wide lock (Chapel `sync` variable semantics). It exists to
+/// show what RCUArray buys: SyncArray does not scale, and *degrades* as
+/// more locales add remote contenders on the one lock (Figure 2a/2b).
+template <typename T>
+class SyncArray {
+ public:
+  SyncArray(rt::Cluster& cluster, std::size_t initial_capacity = 0,
+            std::size_t block_size = 1024)
+      : impl_(cluster, 0, block_size), lock_(cluster, /*owner_locale=*/0) {
+    // Initial sizing happens pre-publication; still lock for uniformity.
+    if (initial_capacity > 0) {
+      std::lock_guard<rt::GlobalLock> guard(lock_);
+      impl_.resize_add(initial_capacity);
+    }
+  }
+
+  SyncArray(const SyncArray&) = delete;
+  SyncArray& operator=(const SyncArray&) = delete;
+
+  T read(std::size_t i) {
+    std::lock_guard<rt::GlobalLock> guard(lock_);
+    return impl_.read(i);
+  }
+
+  void write(std::size_t i, T value) {
+    std::lock_guard<rt::GlobalLock> guard(lock_);
+    impl_.write(i, std::move(value));
+  }
+
+  void resize_add(std::size_t num_elements) {
+    std::lock_guard<rt::GlobalLock> guard(lock_);
+    impl_.resize_add(num_elements);
+  }
+
+  [[nodiscard]] std::size_t capacity() {
+    std::lock_guard<rt::GlobalLock> guard(lock_);
+    return impl_.capacity();
+  }
+
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return impl_.block_size();
+  }
+  [[nodiscard]] rt::GlobalLock& lock() noexcept { return lock_; }
+
+ private:
+  UnsafeArray<T> impl_;
+  rt::GlobalLock lock_;
+};
+
+}  // namespace rcua::baseline

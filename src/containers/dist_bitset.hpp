@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "core/rcu_array.hpp"
+#include "platform/backoff.hpp"
+
+namespace rcua::cont {
+
+/// Distributed, growable atomic bitset over RCUArray<std::atomic<u64>> —
+/// set/test/clear are single remote-word atomics, population count is a
+/// locality-aware reduction, and capacity grows through the parallel-safe
+/// resize (a common building block: distributed allocators, visited sets
+/// for graph traversals, bloom-filter backing).
+///
+/// Bit indices beyond the current capacity are legal for `set`: the
+/// bitset grows on demand (whole blocks of words).
+template <typename Policy = QsbrPolicy>
+class DistBitset {
+ public:
+  struct Options {
+    std::size_t block_size_words = 1024;  // 64 Kbit per block
+    reclaim::Qsbr* qsbr = nullptr;
+  };
+
+  explicit DistBitset(rt::Cluster& cluster, std::size_t initial_bits = 0,
+                      Options options = {})
+      : words_(cluster, (initial_bits + 63) / 64,
+               {options.block_size_words, options.qsbr}) {}
+
+  DistBitset(const DistBitset&) = delete;
+  DistBitset& operator=(const DistBitset&) = delete;
+
+  /// Sets bit `i` (growing if needed); returns the previous value.
+  bool set(std::size_t i) {
+    ensure_capacity(i);
+    const std::uint64_t mask = 1ULL << (i % 64);
+    const std::uint64_t old = words_.index(i / 64).fetch_or(
+        mask, std::memory_order_acq_rel);
+    return (old & mask) != 0;
+  }
+
+  /// Clears bit `i` (must have been set, so its word exists); returns the
+  /// previous value. Waits out the replication gap if this locale's
+  /// replica lags the growth that created the word.
+  bool clear(std::size_t i) {
+    if (words_.capacity() <= i / 64) {
+      plat::Backoff backoff(4);
+      while (words_.capacity() <= i / 64) backoff.pause();
+    }
+    const std::uint64_t mask = 1ULL << (i % 64);
+    const std::uint64_t old = words_.index(i / 64).fetch_and(
+        ~mask, std::memory_order_acq_rel);
+    return (old & mask) != 0;
+  }
+
+  /// Tests bit `i`; bits beyond capacity read as false.
+  [[nodiscard]] bool test(std::size_t i) {
+    if (i / 64 >= words_.capacity()) return false;
+    return (words_.index(i / 64).load(std::memory_order_acquire) &
+            (1ULL << (i % 64))) != 0;
+  }
+
+  /// Atomically sets bit `i` iff it was clear; true on success (CAS-free
+  /// claim primitive for allocators).
+  bool try_claim(std::size_t i) { return !set(i); }
+
+  /// Population count: locality-aware parallel reduction.
+  [[nodiscard]] std::size_t count() {
+    return words_.reduce(
+        std::size_t{0},
+        [](std::size_t acc, const std::atomic<std::uint64_t>& w) {
+          return acc + static_cast<std::size_t>(
+                           __builtin_popcountll(w.load(std::memory_order_relaxed)));
+        },
+        [](std::size_t a, std::size_t b) { return a + b; });
+  }
+
+  /// Capacity in bits.
+  [[nodiscard]] std::size_t capacity_bits() const {
+    return words_.capacity() * 64;
+  }
+
+  [[nodiscard]] RCUArray<std::atomic<std::uint64_t>, Policy>& backing() {
+    return words_;
+  }
+
+ private:
+  void ensure_capacity(std::size_t bit) {
+    const std::size_t word = bit / 64;
+    while (words_.capacity() <= word) {
+      std::lock_guard<std::mutex> guard(grow_mu_);
+      if (words_.capacity() > word) break;
+      const std::size_t have = words_.num_blocks();
+      words_.resize_add(words_.block_size() * (have == 0 ? 1 : have));
+    }
+  }
+
+  RCUArray<std::atomic<std::uint64_t>, Policy> words_;
+  std::mutex grow_mu_;
+};
+
+}  // namespace rcua::cont

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/rcu_array.hpp"
+#include "platform/align.hpp"
+#include "platform/backoff.hpp"
+
+namespace rcua::cont {
+
+/// Distributed id-allocating slab table: hand it a value, it hands back a
+/// stable dense id; ids are recycled on release. The "distributed table"
+/// application of the paper's conclusion in its simplest useful form —
+/// a registry/descriptor table whose storage grows in parallel with
+/// lookups (think connection tables, object registries, handle spaces).
+///
+/// Lookups are RCUArray reads (parallel-safe with growth); allocation
+/// reserves ids with a fetch-add fast path and falls back to a mutexed
+/// free list for recycled ids.
+template <typename V, typename Policy = QsbrPolicy>
+class DistIdTable {
+ public:
+  struct Options {
+    std::size_t block_size = 1024;
+    reclaim::Qsbr* qsbr = nullptr;
+  };
+
+  explicit DistIdTable(rt::Cluster& cluster, Options options = {})
+      : arr_(cluster, options.block_size, {options.block_size, options.qsbr}) {}
+
+  DistIdTable(const DistIdTable&) = delete;
+  DistIdTable& operator=(const DistIdTable&) = delete;
+
+  /// Stores `value`, returning its id. Parallel-safe.
+  std::size_t allocate(V value) {
+    std::size_t id;
+    {
+      std::lock_guard<std::mutex> guard(free_mu_);
+      if (!free_ids_.empty()) {
+        id = free_ids_.back();
+        free_ids_.pop_back();
+        live_->fetch_add(1, std::memory_order_relaxed);
+        arr_.index(id) = std::move(value);
+        return id;
+      }
+    }
+    id = next_->fetch_add(1, std::memory_order_acq_rel);
+    ensure_capacity(id + 1);
+    live_->fetch_add(1, std::memory_order_relaxed);
+    arr_.index(id) = std::move(value);
+    return id;
+  }
+
+  /// Reference to the value behind `id`. Parallel-safe with allocate /
+  /// growth (waits out the bounded replication gap if this locale's
+  /// replica lags the growth that created `id`). The caller must not use
+  /// an id it has released.
+  V& get(std::size_t id) {
+    if (arr_.capacity() <= id) {
+      plat::Backoff backoff(4);
+      while (arr_.capacity() <= id) backoff.pause();
+    }
+    return arr_.index(id);
+  }
+
+  /// Recycles `id`. The slot's value is left in place (callers treat a
+  /// released id as invalid).
+  void release(std::size_t id) {
+    std::lock_guard<std::mutex> guard(free_mu_);
+    free_ids_.push_back(id);
+    live_->fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Number of currently allocated ids.
+  [[nodiscard]] std::size_t live() const noexcept {
+    return live_->load(std::memory_order_relaxed);
+  }
+  /// High-water mark of ids ever allocated.
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return next_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return arr_.capacity(); }
+
+ private:
+  void ensure_capacity(std::size_t needed) {
+    while (arr_.capacity() < needed) {
+      std::lock_guard<std::mutex> guard(grow_mu_);
+      const std::size_t cap = arr_.capacity();
+      if (cap >= needed) break;
+      arr_.resize_add(arr_.block_size() * (arr_.num_blocks() == 0
+                                               ? 1
+                                               : arr_.num_blocks()));
+    }
+  }
+
+  RCUArray<V, Policy> arr_;
+  plat::CacheAligned<std::atomic<std::size_t>> next_{std::size_t{0}};
+  plat::CacheAligned<std::atomic<std::size_t>> live_{std::size_t{0}};
+  std::mutex free_mu_;
+  std::mutex grow_mu_;
+  std::vector<std::size_t> free_ids_;
+};
+
+}  // namespace rcua::cont

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+#include "core/rcu_array.hpp"
+#include "platform/align.hpp"
+#include "platform/backoff.hpp"
+
+namespace rcua::cont {
+
+/// Append-only distributed vector on top of RCUArray — the paper's
+/// conclusion names RCUArray as "the ideal backbone for a random-access
+/// data structure such as a distributed vector", and this is that vector:
+/// `push_back` from any task on any locale, concurrent with reads, with
+/// capacity growth happening through RCUArray's parallel-safe resize.
+///
+/// Semantics: `push_back` reserves an index with one fetch-add, grows the
+/// backing array if needed, then writes through the reserved reference.
+/// `size()` counts *reserved* slots; a slot's write happens-after its
+/// reservation but concurrent readers racing the writing thread may
+/// observe the element's default value — the usual relaxed-vector
+/// contract (readers synchronize via their own happens-before edges,
+/// e.g. reading indices published by the producer).
+template <typename T, typename Policy = QsbrPolicy>
+class DistVector {
+ public:
+  struct Options {
+    std::size_t block_size = 1024;
+    /// Blocks added per growth step (doubling up to this many blocks).
+    std::size_t max_growth_blocks = 64;
+    reclaim::Qsbr* qsbr = nullptr;
+  };
+
+  explicit DistVector(rt::Cluster& cluster, Options options = {})
+      : arr_(cluster, /*initial_capacity=*/options.block_size,
+             {options.block_size, options.qsbr}),
+        max_growth_blocks_(options.max_growth_blocks) {}
+
+  DistVector(const DistVector&) = delete;
+  DistVector& operator=(const DistVector&) = delete;
+
+  /// Appends `value`; returns its index. Parallel-safe.
+  std::size_t push_back(T value) {
+    const std::size_t idx =
+        size_->fetch_add(1, std::memory_order_acq_rel);
+    ensure_capacity(idx + 1);
+    arr_.index(idx) = std::move(value);
+    return idx;
+  }
+
+  /// Reference to element `i` (valid across growth). Parallel-safe: if a
+  /// racing grower published index `i` (via size()) before this locale's
+  /// snapshot replica caught up, waits out the bounded replication gap.
+  T& operator[](std::size_t i) {
+    wait_replicated(i + 1);
+    return arr_.index(i);
+  }
+
+  T& at(std::size_t i) {
+    if (i >= size()) {
+      throw std::out_of_range("DistVector::at beyond size");
+    }
+    wait_replicated(i + 1);
+    return arr_.index(i);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_->load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return arr_.capacity(); }
+  [[nodiscard]] RCUArray<T, Policy>& backing() noexcept { return arr_; }
+
+ private:
+  /// Index `needed-1` was published by another thread, so the resize
+  /// that created it already completed; wait for this locale's replica.
+  void wait_replicated(std::size_t needed) {
+    if (arr_.capacity() >= needed) return;
+    plat::Backoff backoff(4);
+    while (arr_.capacity() < needed) backoff.pause();
+  }
+
+  void ensure_capacity(std::size_t needed) {
+    while (arr_.capacity() < needed) {
+      std::lock_guard<std::mutex> guard(grow_mu_);
+      const std::size_t cap = arr_.capacity();
+      if (cap >= needed) break;
+      // Grow by min(current block count, max_growth_blocks) blocks:
+      // amortized doubling without unbounded resize latency.
+      const std::size_t blocks = arr_.num_blocks();
+      const std::size_t grow_blocks =
+          blocks < max_growth_blocks_ ? (blocks == 0 ? 1 : blocks)
+                                      : max_growth_blocks_;
+      arr_.resize_add(grow_blocks * arr_.block_size());
+    }
+  }
+
+  RCUArray<T, Policy> arr_;
+  plat::CacheAligned<std::atomic<std::size_t>> size_{std::size_t{0}};
+  std::mutex grow_mu_;
+  std::size_t max_growth_blocks_;
+};
+
+}  // namespace rcua::cont

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "reclaim/ebr.hpp"
+
+namespace rcua::cont {
+
+/// RCU-protected singly-linked list over the paper's TLS-free EBR — the
+/// canonical first RCU data structure (related work §II: "Applications of
+/// RCU can be seen in various data structures such as linked lists"), and
+/// a second consumer of the decoupled EBR beyond RCUArray.
+///
+/// Readers traverse with no stores at all beyond the collective
+/// EpochReaders announcement; writers serialize on an internal lock,
+/// unlink nodes with pointer swings, and reclaim after an epoch drain.
+/// Reads may run concurrently with any number of (serialized) writers.
+template <typename T>
+class RcuList {
+ public:
+  RcuList() = default;
+  RcuList(const RcuList&) = delete;
+  RcuList& operator=(const RcuList&) = delete;
+
+  ~RcuList() {
+    Node* n = head_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Inserts at the front. O(1).
+  void push_front(T value) {
+    auto* node = new Node{std::move(value)};
+    std::lock_guard<std::mutex> guard(write_mu_);
+    node->next.store(head_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    head_.store(node, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Removes the first element matching `pred`; returns whether one was
+  /// removed. The unlinked node is reclaimed after all current readers
+  /// evacuate (synchronous grace period, RCU_Write lines 5-8).
+  template <typename Pred>
+  bool remove_if(Pred pred) {
+    std::lock_guard<std::mutex> guard(write_mu_);
+    std::atomic<Node*>* link = &head_;
+    Node* cur = link->load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      if (pred(cur->value)) {
+        link->store(cur->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        ebr_.synchronize();
+        delete cur;
+        return true;
+      }
+      link = &cur->next;
+      cur = link->load(std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  /// Returns a copy of the first element matching `pred`, if any.
+  /// Runs inside one read-side critical section.
+  template <typename Pred>
+  std::optional<T> find_if(Pred pred) const {
+    return ebr_.read([&]() -> std::optional<T> {
+      for (Node* n = head_.load(std::memory_order_acquire); n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        if (pred(n->value)) return n->value;
+      }
+      return std::nullopt;
+    });
+  }
+
+  /// Applies `fn(const T&)` to every element inside one read-side
+  /// critical section; returns the number visited.
+  template <typename F>
+  std::size_t for_each(F&& fn) const {
+    return ebr_.read([&]() -> std::size_t {
+      std::size_t visited = 0;
+      for (Node* n = head_.load(std::memory_order_acquire); n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        fn(static_cast<const T&>(n->value));
+        ++visited;
+      }
+      return visited;
+    });
+  }
+
+  [[nodiscard]] bool contains(const T& value) const {
+    return find_if([&](const T& v) { return v == value; }).has_value();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const reclaim::Ebr& ebr() const noexcept { return ebr_; }
+
+ private:
+  struct Node {
+    T value;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  mutable reclaim::Ebr ebr_;
+  std::atomic<Node*> head_{nullptr};
+  std::mutex write_mu_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace rcua::cont

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "runtime/cluster.hpp"
+
+namespace rcua {
+
+/// One fixed-capacity block of array storage, allocated "on" a specific
+/// locale (Listing 1: each block is an array with a capacity of
+/// BlockSize).
+///
+/// Blocks are the unit of distribution *and* the unit of recycling: a
+/// snapshot clone shares block pointers rather than copying elements
+/// (Lemma 6), so assignments through outstanding references stay visible
+/// across resizes. Blocks are therefore never owned by a snapshot — the
+/// RCUArray owns them and frees them at destruction.
+template <typename T>
+class Block {
+ public:
+  Block(rt::Locale& owner, std::size_t capacity)
+      : data_(std::make_unique<T[]>(capacity)),
+        capacity_(capacity),
+        owner_(owner.id()),
+        id_(next_id_.fetch_add(1, std::memory_order_relaxed)) {
+    owner.note_alloc(capacity * sizeof(T));
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ~Block() { live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < capacity_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < capacity_);
+    return data_[i];
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t owner() const noexcept { return owner_; }
+  /// Globally unique block identity (drives the locality cost model).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+
+  /// Number of live Block<T> instances — leak assertions in tests.
+  static std::uint64_t live_count() noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::size_t capacity_;
+  std::uint32_t owner_;
+  std::uint64_t id_;
+
+  static inline std::atomic<std::uint64_t> next_id_{1};
+  static inline std::atomic<std::uint64_t> live_{0};
+};
+
+}  // namespace rcua

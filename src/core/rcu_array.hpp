@@ -1,0 +1,458 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "platform/align.hpp"
+#include "reclaim/ebr.hpp"
+#include "reclaim/qsbr.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/global_lock.hpp"
+#include "runtime/this_task.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rcua {
+
+/// Compile-time reclamation policy — the paper's `isQSBR` param.
+struct EbrPolicy {
+  static constexpr bool is_qsbr = false;
+  static constexpr const char* name = "EBR";
+};
+struct QsbrPolicy {
+  static constexpr bool is_qsbr = true;
+  static constexpr const char* name = "QSBR";
+};
+
+/// RCUArray: a parallel-safe distributed resizable array (the paper's
+/// primary contribution). Reads and updates proceed concurrently with a
+/// resize via Read-Copy-Update over immutable snapshots of the block
+/// table; blocks are distributed round-robin across the cluster's
+/// locales, and the metadata (snapshot pointer, epoch state,
+/// NextLocaleId) is privatized per locale so the access path is entirely
+/// node-local.
+///
+/// Key relaxations inherited from the paper:
+///  * `index()` returns a *reference* so updates cost the same as reads
+///    (§III-C). The reference stays valid across resizes because snapshot
+///    clones recycle blocks (Lemma 6) — only the spine is ever reclaimed.
+///  * Resizing only expands, in whole blocks (§IV-B fn.12).
+///
+/// Thread-safety contract:
+///  * index/read/write: parallel-safe, including concurrently with resize.
+///  * resize_add: parallel-safe against everything (serialized by the
+///    cluster-wide WriteLock).
+///  * QSBR policy: callers must invoke `reclaim::Qsbr::checkpoint()`
+///    periodically (or rely on pool workers parking) and must not hold a
+///    reference obtained *from a dropped spine's blocks*— note blocks are
+///    recycled so element references are fine; the QSBR discipline only
+///    gates the spine.
+///  * destruction: requires external quiescence (no in-flight ops).
+template <typename T, typename Policy = QsbrPolicy>
+class RCUArray {
+ public:
+  struct Options {
+    std::size_t block_size = 1024;
+    /// QSBR domain; defaults to the process-wide one. Ignored under EBR.
+    reclaim::Qsbr* qsbr = nullptr;
+  };
+
+  static constexpr bool uses_qsbr = Policy::is_qsbr;
+
+  RCUArray(rt::Cluster& cluster, std::size_t initial_capacity = 0,
+           Options options = {})
+      : cluster_(cluster),
+        block_size_(options.block_size),
+        qsbr_(options.qsbr != nullptr ? options.qsbr
+                                      : &reclaim::Qsbr::global()),
+        write_lock_(cluster, /*owner_locale=*/0),
+        pid_(cluster.privatization().create()) {
+    if (block_size_ == 0) throw std::invalid_argument("block_size == 0");
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      auto* p = new PerLocale;
+      p->global_snapshot.store(new Snapshot<T>(), std::memory_order_relaxed);
+      cluster_.privatization().set(pid_, l, p);
+    });
+    if (initial_capacity > 0) resize_add(initial_capacity);
+  }
+
+  ~RCUArray() {
+    // Contract: no concurrent operations. Locale 0's snapshot holds the
+    // complete block set (resizes only append, replicated everywhere).
+    std::vector<Block<T>*> blocks =
+        priv_at(0).global_snapshot.load(std::memory_order_acquire)->blocks();
+    for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
+      PerLocale* p = &priv_at(l);
+      delete p->global_snapshot.load(std::memory_order_acquire);
+      delete p;
+    }
+    cluster_.privatization().destroy(pid_);
+    for (Block<T>* b : blocks) {
+      cluster_.locale(b->owner()).note_free(b->capacity() * sizeof(T));
+      delete b;
+    }
+  }
+
+  RCUArray(const RCUArray&) = delete;
+  RCUArray& operator=(const RCUArray&) = delete;
+
+  // -- Indexing (Algorithm 3, Index) -----------------------------------
+
+  /// Returns a reference to element `i`, valid across concurrent resizes.
+  /// Both reads and updates go through this reference.
+  T& index(std::size_t i) { return index_rw(i, /*is_write=*/false); }
+  T& operator[](std::size_t i) { return index_rw(i, /*is_write=*/false); }
+
+  /// Bounds-checked access.
+  T& at(std::size_t i) {
+    if (i >= capacity()) {
+      throw std::out_of_range("RCUArray::at: index " + std::to_string(i) +
+                              " >= capacity " + std::to_string(capacity()));
+    }
+    return index_rw(i, false);
+  }
+
+  /// Convenience value read / write (the paper's "update" is the write).
+  T read(std::size_t i) { return index_rw(i, false); }
+  void write(std::size_t i, T value) { index_rw(i, true) = std::move(value); }
+
+  // -- Resizing (Algorithm 3, Resize) ----------------------------------
+
+  /// Expands by `num_elements`, rounded up to whole blocks, distributing
+  /// the new blocks round-robin across locales and replicating the
+  /// snapshot swap on every locale. Parallel-safe against all operations.
+  void resize_add(std::size_t num_elements) {
+    if (num_elements == 0) return;
+    const std::size_t nblocks =
+        (num_elements + block_size_ - 1) / block_size_;
+    const auto& m = sim::CostModel::get();
+
+    std::vector<Block<T>*> new_blocks;  // line 9
+    new_blocks.reserve(nblocks);
+    write_lock_.lock();  // line 10
+    const std::uint32_t here = cluster_.here();
+    std::uint32_t loc = priv().next_locale_id;  // line 11
+    // Allocate and distribute new blocks (lines 12-16).
+    for (std::size_t k = 0; k < nblocks; ++k) {
+      cluster_.comm().record_execute(here, loc);  // `on Locales[locId]`
+      new_blocks.push_back(new Block<T>(cluster_.locale(loc), block_size_));
+      sim::charge(m.alloc_block_ns);
+      loc = (loc + 1) % cluster_.num_locales();
+    }
+    const std::uint32_t final_loc = loc;
+
+    // Update performed on each node (lines 18-28).
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      Snapshot<T>* old =
+          p.global_snapshot.load(std::memory_order_relaxed);
+      Snapshot<T>* fresh = Snapshot<T>::clone_append(*old, new_blocks);
+      if constexpr (Policy::is_qsbr) {
+        // Handle RCU directly with QSBR (lines 21-25).
+        p.global_snapshot.store(fresh, std::memory_order_release);
+        qsbr_->defer_delete(old);
+      } else {
+        // RCU_Write (Algorithm 1 lines 1-8); the clone/λ already ran.
+        p.global_snapshot.store(fresh, std::memory_order_release);
+        const auto epoch = p.ebr.advance_epoch();
+        p.ebr.wait_for_readers(epoch);
+        delete old;
+      }
+      p.next_locale_id = final_loc;  // line 28
+    });
+    resizes_.fetch_add(1, std::memory_order_relaxed);
+    write_lock_.unlock();  // line 29
+  }
+
+  /// EXTENSION (beyond the paper, which covers expansion only): shrinks
+  /// the array by `num_elements`, rounded DOWN to whole blocks, from the
+  /// tail. Parallel-safe against index/read/write *to the surviving
+  /// region*; references into the removed region are invalidated once
+  /// reclamation completes. The removed blocks are reclaimed through the
+  /// same machinery as spines: synchronously after the EBR drain, or via
+  /// QSBR deferral.
+  void resize_remove(std::size_t num_elements) {
+    const std::size_t remove_blocks = num_elements / block_size_;
+    if (remove_blocks == 0) return;
+    const auto& m = sim::CostModel::get();
+    write_lock_.lock();
+    Snapshot<T>* current =
+        priv_at(0).global_snapshot.load(std::memory_order_acquire);
+    const std::size_t old_blocks = current->num_blocks();
+    const std::size_t keep =
+        remove_blocks >= old_blocks ? 0 : old_blocks - remove_blocks;
+    // The blocks being dropped (identical in every locale's spine).
+    std::vector<Block<T>*> dropped(current->blocks().begin() +
+                                       static_cast<std::ptrdiff_t>(keep),
+                                   current->blocks().end());
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      Snapshot<T>* old = p.global_snapshot.load(std::memory_order_relaxed);
+      Snapshot<T>* fresh = Snapshot<T>::clone_truncate(*old, keep);
+      p.global_snapshot.store(fresh, std::memory_order_release);
+      if constexpr (Policy::is_qsbr) {
+        qsbr_->defer_delete(old);
+      } else {
+        const auto epoch = p.ebr.advance_epoch();
+        p.ebr.wait_for_readers(epoch);
+        delete old;
+      }
+    });
+    // Every locale has swapped; no snapshot reaches the dropped blocks.
+    for (Block<T>* b : dropped) {
+      cluster_.locale(b->owner()).note_free(b->capacity() * sizeof(T));
+      sim::charge(m.alloc_block_ns / 2);
+      if constexpr (Policy::is_qsbr) {
+        // Outstanding references (paper-style relaxed reads) may still
+        // target these blocks until their holders checkpoint.
+        qsbr_->defer_delete(b);
+      } else {
+        // EBR already drained all readers on every locale above.
+        delete b;
+      }
+    }
+    resizes_.fetch_add(1, std::memory_order_relaxed);
+    write_lock_.unlock();
+  }
+
+  // -- Snapshot views ----------------------------------------------------
+
+  /// A pinned, read-only view of one snapshot: amortizes the read-side
+  /// protocol over many accesses and guarantees a *consistent* block
+  /// table (capacity cannot change under the view). Under EBR the view
+  /// holds the read-side critical section open, so writers wait for it —
+  /// keep views short-lived. Under QSBR validity follows the usual rule:
+  /// the view dies at the holder's next checkpoint.
+  class View {
+   public:
+    explicit View(RCUArray& arr)
+        : arr_(arr), snapshot_(nullptr), guard_(nullptr) {
+      PerLocale& p = arr.priv();
+      if constexpr (Policy::is_qsbr) {
+        arr.qsbr_->ensure_participant();
+      } else {
+        guard_ = std::make_unique<typename reclaim::Ebr::ReadGuard>(p.ebr);
+      }
+      snapshot_ = p.global_snapshot.load(std::memory_order_acquire);
+      sim::charge(sim::CostModel::get().atomic_load_ns);
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept {
+      return snapshot_->capacity();
+    }
+    [[nodiscard]] std::size_t num_blocks() const noexcept {
+      return snapshot_->num_blocks();
+    }
+
+    const T& operator[](std::size_t i) const {
+      const std::size_t bidx = i / arr_.block_size_;
+      const std::size_t off = i % arr_.block_size_;
+      Block<T>* b = snapshot_->block(bidx);
+      const std::uint32_t here = arr_.cluster_.here();
+      arr_.cluster_.comm().record_access(here, b->owner(), false);
+      sim::touch_block(b->id(), b->owner() != here, false);
+      return (*b)[off];
+    }
+
+   private:
+    RCUArray& arr_;
+    Snapshot<T>* snapshot_;
+    std::unique_ptr<typename reclaim::Ebr::ReadGuard> guard_;
+  };
+
+  /// Pins the calling locale's current snapshot (see View).
+  [[nodiscard]] View view() { return View(*this); }
+
+  // -- Bulk / parallel operations ----------------------------------------
+
+  /// Runs `fn(global_block_index, Block<T>&)` for every block, each on a
+  /// task on the block's OWNING locale — the locality-aware loop the
+  /// paper's DSI future work calls for. Not concurrent-resize-safe (the
+  /// iteration space is fixed at entry).
+  template <typename F>
+  void for_each_block_local(F&& fn) {
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      Snapshot<T>* s = p.global_snapshot.load(std::memory_order_acquire);
+      for (std::size_t b = 0; b < s->num_blocks(); ++b) {
+        Block<T>* blk = s->block(b);
+        if (blk->owner() != l) continue;
+        sim::touch_block(blk->id(), false, true);
+        fn(b, *blk);
+      }
+    });
+  }
+
+  /// Like for_each_block_local but runs on the CALLING task for a single
+  /// locale's blocks — for use inside an enclosing coforall body that is
+  /// already placed on `locale`.
+  template <typename F>
+  void for_each_local_block_inline(std::uint32_t locale, F&& fn) {
+    PerLocale& p = priv_at(locale);
+    Snapshot<T>* s = p.global_snapshot.load(std::memory_order_acquire);
+    for (std::size_t b = 0; b < s->num_blocks(); ++b) {
+      Block<T>* blk = s->block(b);
+      if (blk->owner() != locale) continue;
+      sim::touch_block(blk->id(), false, false);
+      fn(b, *blk);
+    }
+  }
+
+  /// Parallel fill, executed with full locality.
+  void fill(const T& value) {
+    const auto& m = sim::CostModel::get();
+    for_each_block_local([&](std::size_t, Block<T>& blk) {
+      for (std::size_t i = 0; i < blk.capacity(); ++i) blk[i] = value;
+      sim::charge(m.bulk_copy_ns_per_elem *
+                  static_cast<double>(blk.capacity()));
+    });
+  }
+
+  /// Parallel reduction: `fn(acc, element)` folds each locale's local
+  /// elements, partials combined with `combine`. T and R must be
+  /// copyable; the array must not be resized concurrently.
+  template <typename R, typename Fold, typename Combine>
+  [[nodiscard]] R reduce(R init, Fold&& fn, Combine&& combine) {
+    std::mutex mu;
+    R total = init;
+    const auto& m = sim::CostModel::get();
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      Snapshot<T>* s = p.global_snapshot.load(std::memory_order_acquire);
+      R partial = init;
+      for (std::size_t b = 0; b < s->num_blocks(); ++b) {
+        Block<T>* blk = s->block(b);
+        if (blk->owner() != l) continue;
+        sim::touch_block(blk->id(), false, false);
+        for (std::size_t i = 0; i < blk->capacity(); ++i) {
+          partial = fn(std::move(partial), (*blk)[i]);
+        }
+        sim::charge(m.bulk_copy_ns_per_elem *
+                    static_cast<double>(blk->capacity()) / 4.0);
+      }
+      std::lock_guard<std::mutex> guard(mu);
+      total = combine(std::move(total), std::move(partial));
+    });
+    return total;
+  }
+
+  // -- Introspection ----------------------------------------------------
+
+  /// Element capacity of the current locale's snapshot.
+  [[nodiscard]] std::size_t capacity() const {
+    return with_snapshot(
+        [](const Snapshot<T>& s) { return s.capacity(); });
+  }
+
+  [[nodiscard]] std::size_t num_blocks() const {
+    return with_snapshot(
+        [](const Snapshot<T>& s) { return s.num_blocks(); });
+  }
+
+  /// Locale owning the block that holds element `i`.
+  [[nodiscard]] std::uint32_t block_owner(std::size_t i) const {
+    const std::size_t bidx = i / block_size_;
+    return with_snapshot(
+        [&](const Snapshot<T>& s) { return s.block(bidx)->owner(); });
+  }
+
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+  [[nodiscard]] std::uint64_t resize_count() const noexcept {
+    return resizes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] rt::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+  [[nodiscard]] rt::GlobalLock& write_lock() noexcept { return write_lock_; }
+
+  /// Read-side stats of the calling locale's EBR instance (EBR policy).
+  [[nodiscard]] typename reclaim::Ebr::Stats ebr_stats_at(
+      std::uint32_t locale) const {
+    return priv_at(locale).ebr.stats();
+  }
+
+ private:
+  /// The privatized per-locale copy (Listing 1's RCUArrayMetaData).
+  struct alignas(plat::kCacheLine) PerLocale {
+    std::atomic<Snapshot<T>*> global_snapshot{nullptr};
+    reclaim::Ebr ebr;
+    std::uint32_t next_locale_id = 0;
+  };
+
+  [[nodiscard]] PerLocale& priv() const {
+    return priv_at(cluster_.here());
+  }
+  [[nodiscard]] PerLocale& priv_at(std::uint32_t locale) const {
+    // chpl_getPrivatizedCopy(PID)
+    auto* p = static_cast<PerLocale*>(
+        cluster_.privatization().get(pid_, locale));
+    assert(p != nullptr);
+    return *p;
+  }
+
+  T& index_rw(std::size_t i, bool is_write) {
+    const auto& m = sim::CostModel::get();
+    sim::charge(m.rcua_index_ns);
+    PerLocale& p = priv();
+    const std::size_t bidx = i / block_size_;   // line 1
+    const std::size_t off = i % block_size_;    // line 2
+    const std::uint32_t here = cluster_.here();
+
+    auto helper = [&](Snapshot<T>* s) -> T& {  // nested proc Helper
+      assert(bidx < s->num_blocks() && "index beyond current capacity");
+      Block<T>* b = s->block(bidx);
+      cluster_.comm().record_access(here, b->owner(), is_write);
+      sim::touch_block(b->id(), b->owner() != here, is_write,
+                       m.rcua_spine_miss_ns);
+      return (*b)[off];  // line 3
+    };
+
+    if constexpr (Policy::is_qsbr) {
+      // line 6: safe to use the snapshot directly — it will not be
+      // reclaimed before this thread's next checkpoint. The thread must
+      // be visible to the safe-epoch minimum first (the paper's "all
+      // threads act as participants").
+      qsbr_->ensure_participant();
+      Snapshot<T>* s = p.global_snapshot.load(std::memory_order_acquire);
+      sim::charge(m.atomic_load_ns);
+      return helper(s);
+    } else {
+      // line 8: RCU_Read with Helper as the λ. The returned reference
+      // escapes the critical section deliberately (§III-C): it points
+      // into a recycled block, not the reclaimed spine.
+      return p.ebr.read([&]() -> T& {
+        sim::charge(m.atomic_load_ns);
+        return helper(p.global_snapshot.load(std::memory_order_acquire));
+      });
+    }
+  }
+
+  template <typename F>
+  [[nodiscard]] auto with_snapshot(F&& fn) const {
+    PerLocale& p = priv();
+    if constexpr (Policy::is_qsbr) {
+      qsbr_->ensure_participant();
+      return fn(*p.global_snapshot.load(std::memory_order_acquire));
+    } else {
+      return p.ebr.read([&] {
+        return fn(*p.global_snapshot.load(std::memory_order_acquire));
+      });
+    }
+  }
+
+  rt::Cluster& cluster_;
+  std::size_t block_size_;
+  reclaim::Qsbr* qsbr_;
+  rt::GlobalLock write_lock_;
+  int pid_;
+  std::atomic<std::uint64_t> resizes_{0};
+};
+
+}  // namespace rcua

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/block.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rcua {
+
+/// An immutable version of the RCUArray's metadata: the block pointer
+/// table (Listing 1's RCUArraySnapshot). "Immutable" applies to the spine
+/// only — the *blocks* the spine points at are mutable shared storage,
+/// recycled from snapshot to snapshot.
+///
+/// The clone used by every resize (Figure 1) produces a longer spine
+/// sharing all existing block pointers: s' = (b1..bN, bN+1..bM), making s
+/// a subsequence of s' — which is exactly why updates through references
+/// obtained from s remain visible in s' (Lemma 6), and why reclaiming a
+/// retired spine never touches element storage.
+template <typename T>
+class Snapshot {
+ public:
+  Snapshot() { live_.fetch_add(1, std::memory_order_relaxed); }
+
+  explicit Snapshot(std::vector<Block<T>*> blocks) : blocks_(std::move(blocks)) {
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ~Snapshot() {
+    // Spine only; blocks are owned by the array.
+    live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// Clones `old`, recycling every block pointer, and appends
+  /// `new_blocks`. Charges the spine-copy cost.
+  static Snapshot* clone_append(const Snapshot& old,
+                                std::span<Block<T>* const> new_blocks) {
+    auto* s = new Snapshot;
+    s->blocks_.reserve(old.blocks_.size() + new_blocks.size());
+    s->blocks_.insert(s->blocks_.end(), old.blocks_.begin(), old.blocks_.end());
+    s->blocks_.insert(s->blocks_.end(), new_blocks.begin(), new_blocks.end());
+    sim::charge(sim::CostModel::get().spine_copy_ns_per_block *
+                static_cast<double>(s->blocks_.size()));
+    return s;
+  }
+
+  /// Clones `old` truncated to its first `keep_blocks` blocks (recycling
+  /// the kept pointers). Used by the shrink extension.
+  static Snapshot* clone_truncate(const Snapshot& old,
+                                  std::size_t keep_blocks) {
+    auto* s = new Snapshot;
+    keep_blocks = keep_blocks < old.blocks_.size() ? keep_blocks
+                                                   : old.blocks_.size();
+    s->blocks_.assign(old.blocks_.begin(),
+                      old.blocks_.begin() +
+                          static_cast<std::ptrdiff_t>(keep_blocks));
+    sim::charge(sim::CostModel::get().spine_copy_ns_per_block *
+                static_cast<double>(keep_blocks));
+    return s;
+  }
+
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return blocks_.size();
+  }
+
+  [[nodiscard]] Block<T>* block(std::size_t i) const noexcept {
+    assert(i < blocks_.size());
+    return blocks_[i];
+  }
+
+  [[nodiscard]] const std::vector<Block<T>*>& blocks() const noexcept {
+    return blocks_;
+  }
+
+  /// Total element capacity across the spine (all blocks share one size).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return blocks_.empty() ? 0 : blocks_.size() * blocks_.front()->capacity();
+  }
+
+  /// True iff `prefix` is a spine-prefix of *this (the Lemma 6 invariant
+  /// tests assert after a clone).
+  [[nodiscard]] bool has_prefix(const Snapshot& prefix) const noexcept {
+    if (prefix.blocks_.size() > blocks_.size()) return false;
+    for (std::size_t i = 0; i < prefix.blocks_.size(); ++i) {
+      if (prefix.blocks_[i] != blocks_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Number of live Snapshot<T> spines — the "at most two active
+  /// snapshots" (Lemma 1) and no-leak assertions in tests.
+  static std::uint64_t live_count() noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Block<T>*> blocks_;
+  static inline std::atomic<std::uint64_t> live_{0};
+};
+
+}  // namespace rcua

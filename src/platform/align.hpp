@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rcua::plat {
+
+/// Size of a destructive-interference cache line. We hardcode 64 bytes
+/// (x86-64, most ARM server parts) rather than relying on
+/// std::hardware_destructive_interference_size, which libstdc++ gates
+/// behind a warning and which varies per TU with -mtune.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a T in storage padded out to a full cache line so that adjacent
+/// instances never share a line. Used for per-thread counters and the
+/// EpochReaders pair, whose whole point is to isolate RMW traffic.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Trailing pad so sizeof is a multiple of kCacheLine even when
+  // alignof(T) < kCacheLine and T is small.
+  static constexpr std::size_t kPad =
+      (sizeof(T) % kCacheLine) ? kCacheLine - (sizeof(T) % kCacheLine) : 0;
+  [[maybe_unused]] std::byte pad_[kPad == 0 ? 1 : kPad];
+};
+
+static_assert(alignof(CacheAligned<int>) == kCacheLine);
+
+/// Rounds n up to the next multiple of `to` (a power of two).
+constexpr std::size_t round_up_pow2(std::size_t n, std::size_t to) noexcept {
+  return (n + to - 1) & ~(to - 1);
+}
+
+/// True iff n is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace rcua::plat

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace rcua::plat {
+
+/// Hint the CPU that we are in a spin-wait loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Truncated exponential backoff for contended CAS loops.
+///
+/// Starts with `cpu_relax` bursts and escalates to `std::this_thread::yield`
+/// once the burst budget exceeds `yield_threshold`. Yielding matters a lot
+/// on oversubscribed hosts (more runnable threads than cores): a pure pause
+/// loop would burn an entire scheduler quantum waiting for a writer that is
+/// not currently running.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t yield_threshold = 64) noexcept
+      : limit_(1), yield_threshold_(yield_threshold) {}
+
+  /// One backoff step. Doubles the burst length up to the yield threshold,
+  /// after which every step is a thread yield.
+  void pause() noexcept {
+    if (limit_ >= yield_threshold_) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    limit_ *= 2;
+  }
+
+  /// Resets the schedule after a successful acquisition.
+  void reset() noexcept { limit_ = 1; }
+
+  /// True once the backoff has escalated to yielding.
+  [[nodiscard]] bool is_yielding() const noexcept {
+    return limit_ >= yield_threshold_;
+  }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t yield_threshold_;
+};
+
+}  // namespace rcua::plat

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/align.hpp"
+#include "platform/backoff.hpp"
+
+namespace rcua::plat {
+
+/// Sense-reversing spin barrier for a fixed set of participants.
+///
+/// Unlike std::barrier this never allocates after construction and spins
+/// with escalation to yields, which is what we want for benchmark phase
+/// alignment on an oversubscribed host.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t participants) noexcept
+      : participants_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants have arrived. Safe to reuse immediately.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.value.load(std::memory_order_relaxed);
+    if (count_.value.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      count_.value.store(0, std::memory_order_relaxed);
+      sense_.value.store(my_sense, std::memory_order_release);
+      return;
+    }
+    Backoff backoff(/*yield_threshold=*/8);
+    while (sense_.value.load(std::memory_order_acquire) != my_sense) {
+      backoff.pause();
+    }
+  }
+
+  [[nodiscard]] std::uint32_t participants() const noexcept {
+    return participants_;
+  }
+
+ private:
+  const std::uint32_t participants_;
+  CacheAligned<std::atomic<std::uint32_t>> count_{0u};
+  CacheAligned<std::atomic<bool>> sense_{false};
+};
+
+}  // namespace rcua::plat

@@ -1,0 +1,29 @@
+#include "platform/timing.hpp"
+
+#include <ctime>
+
+#include "platform/backoff.hpp"
+
+namespace rcua::plat {
+
+namespace {
+std::uint64_t read_clock(clockid_t id) noexcept {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+std::uint64_t now_ns() noexcept { return read_clock(CLOCK_MONOTONIC); }
+
+std::uint64_t thread_cpu_ns() noexcept {
+  return read_clock(CLOCK_THREAD_CPUTIME_ID);
+}
+
+void spin_for_ns(std::uint64_t ns) noexcept {
+  const std::uint64_t deadline = now_ns() + ns;
+  while (now_ns() < deadline) cpu_relax();
+}
+
+}  // namespace rcua::plat

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rcua::plat {
+
+/// Monotonic wall clock in nanoseconds (CLOCK_MONOTONIC).
+std::uint64_t now_ns() noexcept;
+
+/// Per-thread CPU time in nanoseconds (CLOCK_THREAD_CPUTIME_ID).
+std::uint64_t thread_cpu_ns() noexcept;
+
+/// Busy-waits for approximately `ns` nanoseconds of wall time. Only used by
+/// the optional wall-clock benchmark mode; the virtual-time mode never
+/// spins.
+void spin_for_ns(std::uint64_t ns) noexcept;
+
+/// Simple scope timer.
+class Timer {
+ public:
+  Timer() noexcept : start_(now_ns()) {}
+  void reset() noexcept { start_ = now_ns(); }
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return now_ns() - start_;
+  }
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace rcua::plat

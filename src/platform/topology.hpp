@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rcua::plat {
+
+/// Number of hardware execution contexts available to this process
+/// (respects the cpuset / affinity mask). Never returns 0.
+std::uint32_t hardware_threads() noexcept;
+
+/// True when the process is oversubscribed for `desired` runnable threads,
+/// i.e. desired exceeds the hardware thread count. Spin loops consult this
+/// to decide how aggressively to yield.
+bool oversubscribed(std::uint32_t desired) noexcept;
+
+}  // namespace rcua::plat

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "reclaim/qsbr.hpp"
+
+namespace rcua::reclaim {
+
+/// Runtime-placed checkpoint cadence. The paper leaves open "whether
+/// checkpoints should be injected by the compiler, placed at strategic
+/// points in the runtime, or invoked manually by the user" (§III-B);
+/// this is the middle option in library form: a per-task pacer that a
+/// loop ticks once per operation and that invokes a checkpoint every
+/// `cadence` ticks. Figure 4 is the tool for choosing the cadence —
+/// too small costs throughput, too large costs memory.
+class AutoCheckpoint {
+ public:
+  explicit AutoCheckpoint(std::uint64_t cadence = 256,
+                          Qsbr& domain = Qsbr::global()) noexcept
+      : domain_(domain), cadence_(cadence == 0 ? 1 : cadence) {}
+
+  AutoCheckpoint(const AutoCheckpoint&) = delete;
+  AutoCheckpoint& operator=(const AutoCheckpoint&) = delete;
+
+  /// Destructor checkpoints once more so nothing is left gated by this
+  /// task's last observations.
+  ~AutoCheckpoint() { domain_.checkpoint(); }
+
+  /// One operation completed; checkpoints on cadence boundaries.
+  /// Returns true when a checkpoint ran.
+  bool tick() {
+    if (++ticks_ % cadence_ == 0) {
+      domain_.checkpoint();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] std::uint64_t cadence() const noexcept { return cadence_; }
+
+ private:
+  Qsbr& domain_;
+  std::uint64_t cadence_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace rcua::reclaim

@@ -1,0 +1,57 @@
+#include "reclaim/call_rcu.hpp"
+
+namespace rcua::reclaim {
+
+CallRcu::CallRcu(Ebr& ebr)
+    : ebr_(ebr), dispatcher_([this] { dispatcher_main(); }) {}
+
+CallRcu::~CallRcu() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  dispatcher_.join();
+}
+
+void CallRcu::call(void (*fn)(void*), void* arg) {
+  std::lock_guard<std::mutex> guard(mu_);
+  pending_.push_back({fn, arg});
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_one();
+}
+
+void CallRcu::barrier() {
+  const std::uint64_t target = enqueued_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return invoked_.load(std::memory_order_acquire) >= target;
+  });
+}
+
+void CallRcu::dispatcher_main() {
+  std::vector<Callback> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty() && stop_) return;
+      batch.swap(pending_);
+    }
+    // One grace period covers the whole batch: every callback was
+    // enqueued before the epoch advance, so every reader that could
+    // still see the retired state is drained by it.
+    ebr_.synchronize();
+    grace_periods_.fetch_add(1, std::memory_order_relaxed);
+    for (const Callback& cb : batch) cb.fn(cb.arg);
+    const auto n = static_cast<std::uint64_t>(batch.size());
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      invoked_.fetch_add(n, std::memory_order_release);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace rcua::reclaim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "reclaim/ebr.hpp"
+
+namespace rcua::reclaim {
+
+/// Asynchronous grace-period callbacks over the TLS-free EBR — the
+/// userspace-RCU `call_rcu` idiom, built on the paper's decoupled EBR
+/// (conclusion: "future improvements to the decoupled EBR algorithm are
+/// planned and can even be used in other languages that lack official
+/// support for TLS").
+///
+/// Writers hand the grace-period wait to a dispatcher thread instead of
+/// blocking in RCU_Write line 7: `call()` enqueues a callback, the
+/// dispatcher batches pending callbacks, runs one epoch
+/// advance-and-drain for the whole batch, then invokes them. One
+/// synchronize amortizes over the batch — the standard deferral
+/// optimization.
+class CallRcu {
+ public:
+  /// Binds the dispatcher to `ebr`; callbacks run once every reader that
+  /// might hold pre-call state has evacuated that domain.
+  explicit CallRcu(Ebr& ebr);
+
+  /// Drains every pending callback, then stops the dispatcher.
+  ~CallRcu();
+
+  CallRcu(const CallRcu&) = delete;
+  CallRcu& operator=(const CallRcu&) = delete;
+
+  /// Runs `fn(arg)` after a grace period. Never blocks on readers.
+  void call(void (*fn)(void*), void* arg);
+
+  /// `delete obj` after a grace period.
+  template <typename T>
+  void call_delete(T* obj) {
+    call([](void* p) { delete static_cast<T*>(p); }, obj);
+  }
+
+  /// Blocks until every callback enqueued before this call has been
+  /// invoked (rcu_barrier).
+  void barrier();
+
+  [[nodiscard]] std::uint64_t enqueued() const noexcept {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t invoked() const noexcept {
+    return invoked_.load(std::memory_order_relaxed);
+  }
+  /// Number of grace periods the dispatcher has completed.
+  [[nodiscard]] std::uint64_t grace_periods() const noexcept {
+    return grace_periods_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Callback {
+    void (*fn)(void*);
+    void* arg;
+  };
+
+  void dispatcher_main();
+
+  Ebr& ebr_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Callback> pending_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> invoked_{0};
+  std::atomic<std::uint64_t> grace_periods_{0};
+  std::thread dispatcher_;
+};
+
+}  // namespace rcua::reclaim

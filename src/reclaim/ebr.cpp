@@ -1,0 +1,13 @@
+#include "reclaim/ebr.hpp"
+
+namespace rcua::reclaim {
+
+// Explicit instantiations of the widths used across the project: the
+// default 64-bit epoch and the narrow widths the Lemma 2 overflow tests
+// drive through wrap-around.
+template class BasicEbr<std::uint64_t>;
+template class BasicEbr<std::uint32_t>;
+template class BasicEbr<std::uint16_t>;
+template class BasicEbr<std::uint8_t>;
+
+}  // namespace rcua::reclaim

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "platform/align.hpp"
+#include "platform/backoff.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/resource.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rcua::reclaim {
+
+/// The paper's novel TLS-free Epoch-Based Reclamation (Algorithm 1).
+///
+/// Designed for a runtime without thread- or task-local storage: readers
+/// announce themselves *collectively* on one of two shared counters
+/// (`EpochReaders`), selected by the parity of a monotonically increasing
+/// `GlobalEpoch`. The read side is
+///
+///     loop:
+///       e   <- GlobalEpoch                   (line 10)
+///       idx <- e % 2                         (line 11)
+///       EpochReaders[idx] += 1               (line 12, the announcement)
+///       if GlobalEpoch == e:                 (line 13, the verification)
+///         r <- lambda(snapshot); EpochReaders[idx] -= 1; return r
+///       EpochReaders[idx] -= 1; retry        (line 17)
+///
+/// and the write side, after publishing the new snapshot, bumps the epoch
+/// and waits for the *old* parity's counter to drain before reclaiming
+/// (lines 5-8). Lemma 1 guarantees at most two live snapshots (the writer
+/// holds a cluster lock), so two counters suffice, and Lemma 2 shows
+/// parity is preserved even across integer overflow of the epoch — which
+/// is why the epoch type is a template parameter: tests instantiate
+/// `BasicEbr<std::uint8_t>` and drive it through wrap-around for real.
+///
+/// All epoch/counter operations are seq_cst, mirroring the Chapel
+/// implementation; the paper attributes EBR's cost precisely to the
+/// contention and ordering of these fetch-add/fetch-sub pairs.
+template <typename EpochT = std::uint64_t>
+class BasicEbr {
+  static_assert(std::is_unsigned_v<EpochT>,
+                "epochs rely on unsigned wrap-around (Lemma 2)");
+
+ public:
+  BasicEbr() = default;
+  explicit BasicEbr(EpochT initial_epoch) { epoch_->store(initial_epoch); }
+  BasicEbr(const BasicEbr&) = delete;
+  BasicEbr& operator=(const BasicEbr&) = delete;
+
+  /// Observability counters (relaxed; approximate under concurrency).
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t read_retries = 0;
+    std::uint64_t epoch_advances = 0;
+  };
+
+  /// Test-only fault injection: when non-null, invoked at the read-side
+  /// linearization points — phase 0 after the epoch load (line 10) and
+  /// phase 1 after the increment, before verification (line 13). Tests
+  /// install a hook that advances the epoch at exactly these points to
+  /// exercise the retry path (line 17) deterministically; production code
+  /// leaves it null (one predicted-not-taken branch per site).
+  using ReadHook = void (*)(BasicEbr&, int phase);
+  ReadHook test_read_hook = nullptr;
+
+  /// RCU_Read: runs `fn` inside a read-side critical section and returns
+  /// its result. `fn` may return a reference; per the paper's relaxation
+  /// (§III-C) the reference may outlive the critical section *provided*
+  /// the protected structure recycles the referenced memory across
+  /// snapshots (RCUArray's blocks do; the snapshot spine does not).
+  template <typename F>
+  decltype(auto) read(F&& fn) {
+    for (;;) {
+      // Attempt to record our read (lines 10-12).
+      const EpochT e = epoch_->load(std::memory_order_seq_cst);
+      if (test_read_hook != nullptr) test_read_hook(*this, 0);
+      const std::size_t idx = static_cast<std::size_t>(e % 2);
+      readers_[idx]->fetch_add(1, std::memory_order_seq_cst);
+      charge_reader_rmw(idx);
+      if (test_read_hook != nullptr) test_read_hook(*this, 1);
+      // Did the snapshot possibly change before we recorded? (line 13)
+      if (epoch_->load(std::memory_order_seq_cst) == e) {
+        reads_.value.fetch_add(1, std::memory_order_relaxed);
+        if constexpr (std::is_void_v<decltype(fn())>) {
+          std::forward<F>(fn)();
+          readers_[idx]->fetch_sub(1, std::memory_order_seq_cst);
+          charge_reader_rmw(idx);
+          return;
+        } else {
+          decltype(auto) result = std::forward<F>(fn)();
+          readers_[idx]->fetch_sub(1, std::memory_order_seq_cst);
+          charge_reader_rmw(idx);
+          return result;
+        }
+      }
+      // Undo and try again (line 17).
+      readers_[idx]->fetch_sub(1, std::memory_order_seq_cst);
+      charge_reader_rmw(idx);
+      read_retries_.value.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// RAII read-side critical section for code that wants to hold the
+  /// section open across several statements.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(BasicEbr& ebr) : ebr_(ebr) {
+      for (;;) {
+        const EpochT e = ebr_.epoch_->load(std::memory_order_seq_cst);
+        idx_ = static_cast<std::size_t>(e % 2);
+        ebr_.readers_[idx_]->fetch_add(1, std::memory_order_seq_cst);
+        ebr_.charge_reader_rmw(idx_);
+        if (ebr_.epoch_->load(std::memory_order_seq_cst) == e) {
+          ebr_.reads_.value.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        ebr_.readers_[idx_]->fetch_sub(1, std::memory_order_seq_cst);
+        ebr_.charge_reader_rmw(idx_);
+        ebr_.read_retries_.value.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ~ReadGuard() {
+      ebr_.readers_[idx_]->fetch_sub(1, std::memory_order_seq_cst);
+      ebr_.charge_reader_rmw(idx_);
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    BasicEbr& ebr_;
+    std::size_t idx_;
+  };
+
+  /// Write-side epoch bump (RCU_Write line 5). Returns the *previous*
+  /// epoch, whose parity selects the counter to drain. The caller must
+  /// hold the structure's write lock and must already have published the
+  /// new snapshot.
+  EpochT advance_epoch() noexcept {
+    epoch_advances_.value.fetch_add(1, std::memory_order_relaxed);
+    sim::charge(sim::CostModel::get().atomic_rmw_ns);
+    return epoch_->fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Waits until every reader recorded under `old_epoch`'s parity has
+  /// evacuated (RCU_Write lines 6-7). After this returns, memory only
+  /// reachable from the pre-bump snapshot may be reclaimed.
+  void wait_for_readers(EpochT old_epoch) noexcept {
+    const std::size_t idx = static_cast<std::size_t>(old_epoch % 2);
+    plat::Backoff backoff(/*yield_threshold=*/4);
+    while (readers_[idx]->load(std::memory_order_seq_cst) != 0) {
+      backoff.pause();
+    }
+    sim::charge(sim::CostModel::get().epoch_drain_ns);
+  }
+
+  /// advance + drain in one call ("synchronize_rcu").
+  void synchronize() noexcept { wait_for_readers(advance_epoch()); }
+
+  [[nodiscard]] EpochT epoch() const noexcept {
+    return epoch_->load(std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] std::uint64_t readers_at(std::size_t parity) const noexcept {
+    return readers_[parity % 2]->load(std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{reads_.value.load(std::memory_order_relaxed),
+                 read_retries_.value.load(std::memory_order_relaxed),
+                 epoch_advances_.value.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  void charge_reader_rmw(std::size_t idx) noexcept {
+    // Modeled as always-contended: the whole point of the collective
+    // counters is that every reader on the locale hammers them, so the
+    // line ping-pongs on every RMW. (A truly solo reader is overcharged
+    // in virtual time; the paper never evaluates that regime.)
+    reader_lines_[idx].use(sim::CostModel::get().rmw_transfer_ns);
+  }
+
+  // GlobalEpoch and the two EpochReaders, each on its own cache line.
+  plat::CacheAligned<std::atomic<EpochT>> epoch_{EpochT{0}};
+  plat::CacheAligned<std::atomic<std::uint64_t>> readers_[2]{};
+  // Virtual-time contention model for each counter's cache line.
+  sim::VirtualResource reader_lines_[2];
+  // Stats.
+  plat::CacheAligned<std::atomic<std::uint64_t>> reads_{0ULL};
+  plat::CacheAligned<std::atomic<std::uint64_t>> read_retries_{0ULL};
+  plat::CacheAligned<std::atomic<std::uint64_t>> epoch_advances_{0ULL};
+};
+
+/// Default epoch width used by RCUArray.
+using Ebr = BasicEbr<std::uint64_t>;
+
+}  // namespace rcua::reclaim

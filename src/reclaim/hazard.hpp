@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/align.hpp"
+
+namespace rcua::reclaim {
+
+/// Classic hazard pointers (Michael 2004), the related-work baseline the
+/// paper's introduction positions EBR/QSBR against: "a balanced but
+/// noticeable overhead to both read and write operations" and a TLS
+/// requirement Chapel lacks. Used here in ablation benchmarks and as a
+/// protection policy for HazardArray.
+///
+/// Standard design: each thread owns a record with a small fixed number
+/// of hazard slots plus a private retired list; `retire()` scans all
+/// records' slots once the retired list exceeds a threshold and frees
+/// every pointer not currently protected.
+class HazardDomain {
+ public:
+  static constexpr std::size_t kSlotsPerThread = 4;
+
+  HazardDomain();
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+  ~HazardDomain();
+
+  static HazardDomain& global();
+
+  struct Record {
+    std::atomic<void*> slots[kSlotsPerThread];
+    std::atomic<bool> in_use{false};
+    Record* next = nullptr;
+    // Thread-private retired list (only the owner pushes; scan is local).
+    struct Retired {
+      void* ptr;
+      void (*deleter)(void*);
+    };
+    std::vector<Retired> retired;
+    char pad[plat::kCacheLine];
+  };
+
+  /// RAII protection of a single pointer loaded from `src`: loops
+  /// publish-then-verify until the published value is stable, so the
+  /// object cannot be freed while the guard lives.
+  template <typename T>
+  class Guard {
+   public:
+    Guard(HazardDomain& dom, const std::atomic<T*>& src, std::size_t slot = 0)
+        : dom_(dom), rec_(dom.local_record()), slot_(slot) {
+      T* p = src.load(std::memory_order_acquire);
+      for (;;) {
+        rec_.slots[slot_].store(p, std::memory_order_seq_cst);
+        T* again = src.load(std::memory_order_seq_cst);
+        if (again == p) break;
+        p = again;
+      }
+      ptr_ = p;
+    }
+    ~Guard() { rec_.slots[slot_].store(nullptr, std::memory_order_release); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    [[nodiscard]] T* get() const noexcept { return ptr_; }
+    T* operator->() const noexcept { return ptr_; }
+    T& operator*() const noexcept { return *ptr_; }
+
+   private:
+    HazardDomain& dom_;
+    Record& rec_;
+    std::size_t slot_;
+    T* ptr_ = nullptr;
+  };
+
+  /// Retires `obj` for deletion once unprotected. Triggers a scan when
+  /// the caller's retired list reaches the threshold.
+  template <typename T>
+  void retire(T* obj) {
+    retire_raw(obj, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  void retire_raw(void* obj, void (*deleter)(void*));
+
+  /// Scans all hazard slots and frees every retired object of the calling
+  /// thread that no slot protects. Returns the number freed.
+  std::size_t scan();
+
+  /// Frees everything retired by every record. ONLY safe when no guard is
+  /// live (shutdown/test teardown). Records of other threads are drained
+  /// too, so their owners must be quiescent.
+  void flush_unsafe();
+
+  /// The calling thread's record (registering on first use).
+  Record& local_record();
+
+  [[nodiscard]] std::size_t retire_threshold() const noexcept {
+    return retire_threshold_;
+  }
+  void set_retire_threshold(std::size_t n) noexcept { retire_threshold_ = n; }
+
+  [[nodiscard]] std::uint64_t retired_count() const noexcept {
+    return retired_total_.value.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t freed_count() const noexcept {
+    return freed_total_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend struct HpCacheTls;
+
+  Record* acquire_record();
+
+  std::uint64_t id_;  // unique, never reused; guards stale TLS caches
+  std::atomic<Record*> head_{nullptr};
+  std::size_t retire_threshold_ = 64;
+  plat::CacheAligned<std::atomic<std::uint64_t>> retired_total_{0ULL};
+  plat::CacheAligned<std::atomic<std::uint64_t>> freed_total_{0ULL};
+};
+
+}  // namespace rcua::reclaim

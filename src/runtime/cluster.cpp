@@ -1,0 +1,118 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+
+#include "runtime/this_task.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rcua::rt {
+
+Cluster::Cluster(ClusterConfig config)
+    : comm_(config.num_locales),
+      priv_(config.num_locales, config.max_pids) {
+  locales_.reserve(config.num_locales);
+  for (std::uint32_t l = 0; l < config.num_locales; ++l) {
+    locales_.push_back(std::make_unique<Locale>(l));
+  }
+  pool_ = std::make_unique<TaskPool>(*this, config.num_locales,
+                                     config.workers_per_locale);
+}
+
+std::uint32_t Cluster::here() const noexcept {
+  const TaskContext& ctx = this_task();
+  return ctx.cluster == this ? ctx.locale_id : 0;
+}
+
+void Cluster::on(std::uint32_t locale, const std::function<void()>& fn) {
+  const TaskContext& ctx = this_task();
+  if (ctx.cluster == this && ctx.locale_id == locale) {
+    fn();  // Chapel: `on here` runs in place.
+    return;
+  }
+  comm_.record_execute(here(), locale);
+  const bool simulated = sim::enabled();
+  sim::TaskClock body_clock;
+  TaskPool::Group group;
+  group.add(1);
+  pool_->submit(locale, &group, [&] {
+    if (simulated) {
+      sim::ClockScope scope(body_clock);
+      fn();
+    } else {
+      fn();
+    }
+  });
+  group.wait();
+  if (simulated) sim::charge(static_cast<double>(body_clock.vtime_ns));
+}
+
+void Cluster::coforall_locales(const std::function<void(std::uint32_t)>& fn) {
+  const std::uint32_t n = num_locales();
+  const std::uint32_t src = here();
+  const bool simulated = sim::enabled();
+  const auto& m = sim::CostModel::get();
+
+  std::vector<sim::TaskClock> clocks(simulated ? n : 0);
+  TaskPool::Group group;
+  group.add(n);
+  for (std::uint32_t l = 0; l < n; ++l) {
+    sim::charge(m.task_spawn_ns);
+    comm_.record_execute(src, l);
+    pool_->submit(l, &group, [&, l] {
+      if (simulated) {
+        sim::ClockScope scope(clocks[l]);
+        fn(l);
+      } else {
+        fn(l);
+      }
+    });
+  }
+  group.wait();
+  if (simulated) {
+    std::uint64_t longest = 0;
+    for (const auto& c : clocks) longest = std::max(longest, c.vtime_ns);
+    sim::charge(static_cast<double>(longest));
+  }
+}
+
+void Cluster::coforall_tasks(
+    std::uint32_t tasks_per_locale,
+    const std::function<void(std::uint32_t, std::uint32_t)>& fn) {
+  const std::uint32_t n = num_locales();
+  const std::uint32_t src = here();
+  const bool simulated = sim::enabled();
+  const auto& m = sim::CostModel::get();
+  const std::size_t total =
+      static_cast<std::size_t>(n) * tasks_per_locale;
+
+  std::vector<sim::TaskClock> clocks(simulated ? total : 0);
+  TaskPool::Group group;
+  group.add(total);
+  // Fan-out model: one remote execute per locale (serial at the
+  // initiator), then each locale spawns its own team in parallel — so the
+  // initiator pays one locale's worth of task-spawn cost, not the sum.
+  sim::charge(m.task_spawn_ns * tasks_per_locale);
+  for (std::uint32_t l = 0; l < n; ++l) {
+    comm_.record_execute(src, l);
+    for (std::uint32_t t = 0; t < tasks_per_locale; ++t) {
+      const std::size_t slot = static_cast<std::size_t>(l) * tasks_per_locale + t;
+      pool_->submit(l, &group, [&, l, t, slot] {
+        if (simulated) {
+          sim::ClockScope scope(clocks[slot]);
+          fn(l, t);
+        } else {
+          fn(l, t);
+        }
+      });
+    }
+  }
+  group.wait();
+  if (simulated) {
+    std::uint64_t longest = 0;
+    for (const auto& c : clocks) longest = std::max(longest, c.vtime_ns);
+    sim::charge(static_cast<double>(longest));
+  }
+}
+
+}  // namespace rcua::rt

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace rcua::rt {
+
+/// Cluster-wide collectives over the tasking layer — the utility
+/// operations a distributed-array application keeps reaching for
+/// (Chapel's reductions and `Barrier` module). All of them are
+/// implemented with `coforall_locales`, so the initiator's virtual clock
+/// pays the fan-out plus the slowest participant, like any other
+/// cluster-wide phase.
+
+/// Runs one empty task on every locale and waits: a full cluster barrier
+/// (every locale has reached this program point).
+inline void cluster_barrier(Cluster& cluster) {
+  cluster.coforall_locales([](std::uint32_t) {});
+}
+
+/// All-reduce: evaluates `per_locale(l)` on each locale (on that locale)
+/// and combines the results with `op`, returning the total to the
+/// caller.
+template <typename T, typename Op>
+T allreduce(Cluster& cluster, const std::function<T(std::uint32_t)>& per_locale,
+            T identity, Op op) {
+  std::mutex mu;
+  T total = identity;
+  cluster.coforall_locales([&](std::uint32_t l) {
+    T local = per_locale(l);
+    std::lock_guard<std::mutex> guard(mu);
+    total = op(std::move(total), std::move(local));
+  });
+  return total;
+}
+
+/// Gather: evaluates `per_locale(l)` on each locale, returns the results
+/// indexed by locale id.
+template <typename T>
+std::vector<T> gather(Cluster& cluster,
+                      const std::function<T(std::uint32_t)>& per_locale) {
+  std::vector<T> out(cluster.num_locales());
+  cluster.coforall_locales(
+      [&](std::uint32_t l) { out[l] = per_locale(l); });
+  return out;
+}
+
+/// Broadcast: runs `receive(l, value)` on every locale with a copy of
+/// `value` (Chapel's replication idiom; used to push configuration or
+/// privatized seeds).
+template <typename T>
+void broadcast(Cluster& cluster, const T& value,
+               const std::function<void(std::uint32_t, const T&)>& receive) {
+  cluster.coforall_locales([&](std::uint32_t l) { receive(l, value); });
+}
+
+}  // namespace rcua::rt

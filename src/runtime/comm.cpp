@@ -1,0 +1,61 @@
+#include "runtime/comm.hpp"
+
+#include "sim/cost_model.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rcua::rt {
+
+CommLayer::CommLayer(std::uint32_t num_locales) : stats_(num_locales) {}
+
+void CommLayer::record_access(std::uint32_t src, std::uint32_t dst,
+                              bool is_write) noexcept {
+  if (src == dst) return;
+  CommStats& s = stats_[src].value;
+  if (is_write) {
+    s.puts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s.gets.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CommLayer::record_execute(std::uint32_t src, std::uint32_t dst) noexcept {
+  if (src == dst) return;
+  stats_[src].value.executes.fetch_add(1, std::memory_order_relaxed);
+  sim::charge(sim::CostModel::get().remote_execute_ns);
+}
+
+std::uint64_t CommLayer::gets(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.gets.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::puts(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.puts.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::executes(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.executes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::total_gets() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += gets(l);
+  return n;
+}
+
+std::uint64_t CommLayer::total_puts() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += puts(l);
+  return n;
+}
+
+std::uint64_t CommLayer::total_executes() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += executes(l);
+  return n;
+}
+
+void CommLayer::reset() noexcept {
+  for (auto& s : stats_) s.value.reset();
+}
+
+}  // namespace rcua::rt

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/align.hpp"
+
+namespace rcua::rt {
+
+/// Per-locale communication counters. In Chapel these PUT/GET operations
+/// happen behind the scenes; the counters make the "behind the scenes"
+/// observable — tests assert on locality properties (e.g. RCUArray
+/// metadata privatization keeps reads node-local) and benches report
+/// communication volume next to throughput.
+struct CommStats {
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> executes{0};
+
+  void reset() noexcept {
+    gets.store(0, std::memory_order_relaxed);
+    puts.store(0, std::memory_order_relaxed);
+    executes.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The cluster's communication layer: counts one-sided operations by
+/// *initiating* locale and charges virtual time for explicit remote
+/// executions (element-access charging lives at the data-structure touch
+/// sites via sim::touch_block, which sees cache behaviour the comm layer
+/// cannot).
+class CommLayer {
+ public:
+  explicit CommLayer(std::uint32_t num_locales);
+
+  /// Records an element access from locale `src` to a block owned by
+  /// `dst`; local accesses are not counted (they are not communication).
+  void record_access(std::uint32_t src, std::uint32_t dst,
+                     bool is_write) noexcept;
+
+  /// Records and charges a remote task execution (`on` statement body).
+  /// Same-locale executions are free and uncounted.
+  void record_execute(std::uint32_t src, std::uint32_t dst) noexcept;
+
+  [[nodiscard]] std::uint64_t gets(std::uint32_t locale) const noexcept;
+  [[nodiscard]] std::uint64_t puts(std::uint32_t locale) const noexcept;
+  [[nodiscard]] std::uint64_t executes(std::uint32_t locale) const noexcept;
+
+  [[nodiscard]] std::uint64_t total_gets() const noexcept;
+  [[nodiscard]] std::uint64_t total_puts() const noexcept;
+  [[nodiscard]] std::uint64_t total_executes() const noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint32_t num_locales() const noexcept {
+    return static_cast<std::uint32_t>(stats_.size());
+  }
+
+ private:
+  std::vector<plat::CacheAligned<CommStats>> stats_;
+};
+
+}  // namespace rcua::rt

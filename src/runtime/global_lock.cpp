@@ -1,0 +1,43 @@
+#include "runtime/global_lock.hpp"
+
+#include "runtime/cluster.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rcua::rt {
+
+GlobalLock::GlobalLock(Cluster& cluster, std::uint32_t owner_locale)
+    : cluster_(cluster), owner_locale_(owner_locale) {}
+
+void GlobalLock::charge_acquire() {
+  const auto& m = sim::CostModel::get();
+  const bool remote = cluster_.here() != owner_locale_;
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  if (remote) remote_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  // Queue for the lock word: a remote acquirer's handoff includes the
+  // network hop, so a mostly-remote contender mix degrades service rate —
+  // the SyncArray curve of Figure 2a/2b.
+  const double service =
+      m.lock_handoff_ns + (remote ? m.remote_stream_ns : 0.0);
+  word_.use_owned(service, m.atomic_rmw_ns);
+}
+
+void GlobalLock::lock() {
+  charge_acquire();
+  mu_.lock();
+}
+
+bool GlobalLock::try_lock() {
+  if (!mu_.try_lock()) return false;
+  charge_acquire();
+  return true;
+}
+
+void GlobalLock::unlock() {
+  // The critical section occupied the lock until now; queued acquirers
+  // start after it.
+  if (sim::enabled()) word_.extend_until(sim::now_v());
+  mu_.unlock();
+}
+
+}  // namespace rcua::rt

@@ -1,0 +1,55 @@
+#include "runtime/privatization.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rcua::rt {
+
+PrivatizationRegistry::PrivatizationRegistry(std::uint32_t num_locales,
+                                             std::uint32_t max_pids)
+    : num_locales_(num_locales),
+      max_pids_(max_pids),
+      slots_(new std::atomic<void*>[static_cast<std::size_t>(num_locales) *
+                                    max_pids]) {
+  const std::size_t n = static_cast<std::size_t>(num_locales) * max_pids;
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+int PrivatizationRegistry::create() {
+  std::lock_guard<std::mutex> guard(mu_);
+  int pid;
+  if (!free_pids_.empty()) {
+    pid = free_pids_.back();
+    free_pids_.pop_back();
+  } else if (next_pid_ < static_cast<int>(max_pids_)) {
+    pid = next_pid_++;
+  } else {
+    std::fprintf(stderr, "rcua: privatization table exhausted (%u pids)\n",
+                 max_pids_);
+    std::abort();
+  }
+  ++live_;
+  return pid;
+}
+
+void PrivatizationRegistry::set(int pid, std::uint32_t locale,
+                                void* instance) noexcept {
+  slots_[slot_index(pid, locale)].store(instance, std::memory_order_release);
+}
+
+void PrivatizationRegistry::destroy(int pid) {
+  for (std::uint32_t l = 0; l < num_locales_; ++l) {
+    slots_[slot_index(pid, l)].store(nullptr, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  free_pids_.push_back(pid);
+  --live_;
+}
+
+std::uint32_t PrivatizationRegistry::live_pids() const noexcept {
+  return live_;
+}
+
+}  // namespace rcua::rt

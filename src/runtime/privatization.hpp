@@ -1,0 +1,65 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rcua::rt {
+
+/// The privatization registry: Chapel's `chpl_getPrivatizedCopy`.
+///
+/// A privatized class allocates a shallow copy on every locale; the
+/// privatization id (PID) is the descriptor used to reach the copy local
+/// to wherever the accessing task runs, eliminating inter-node
+/// communication on the metadata path. RCUArray's per-locale snapshot,
+/// epoch state and NextLocaleId all live behind a PID.
+///
+/// The slot table is allocated once at construction so `get()` is a
+/// single indexed atomic load with no locking — it is on the read path of
+/// every array access.
+class PrivatizationRegistry {
+ public:
+  static constexpr std::uint32_t kDefaultMaxPids = 4096;
+
+  explicit PrivatizationRegistry(std::uint32_t num_locales,
+                                 std::uint32_t max_pids = kDefaultMaxPids);
+
+  /// Claims a fresh PID (recycling destroyed ones). Aborts when the table
+  /// is exhausted.
+  int create();
+
+  /// Installs the privatized instance for (pid, locale).
+  void set(int pid, std::uint32_t locale, void* instance) noexcept;
+
+  /// The privatized instance for (pid, locale). Lock-free.
+  [[nodiscard]] void* get(int pid, std::uint32_t locale) const noexcept {
+    return slots_[slot_index(pid, locale)].load(std::memory_order_acquire);
+  }
+
+  /// Clears all of `pid`'s slots and recycles the id. The caller owns the
+  /// instances and must have freed them.
+  void destroy(int pid);
+
+  [[nodiscard]] std::uint32_t num_locales() const noexcept {
+    return num_locales_;
+  }
+  [[nodiscard]] std::uint32_t live_pids() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t slot_index(int pid,
+                                       std::uint32_t locale) const noexcept {
+    return static_cast<std::size_t>(pid) * num_locales_ + locale;
+  }
+
+  std::uint32_t num_locales_;
+  std::uint32_t max_pids_;
+  std::unique_ptr<std::atomic<void*>[]> slots_;
+  std::mutex mu_;
+  std::vector<int> free_pids_;
+  int next_pid_ = 0;
+  std::uint32_t live_ = 0;
+};
+
+}  // namespace rcua::rt

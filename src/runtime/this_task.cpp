@@ -1,0 +1,19 @@
+#include "runtime/this_task.hpp"
+
+namespace rcua::rt {
+
+namespace {
+thread_local TaskContext tl_context;
+}  // namespace
+
+TaskContext& this_task() noexcept { return tl_context; }
+
+LocaleScope::LocaleScope(Cluster& cluster, std::uint32_t locale_id,
+                         std::uint32_t worker_id) noexcept
+    : saved_(tl_context) {
+  tl_context = TaskContext{&cluster, locale_id, worker_id};
+}
+
+LocaleScope::~LocaleScope() { tl_context = saved_; }
+
+}  // namespace rcua::rt

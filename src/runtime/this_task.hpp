@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rcua::rt {
+
+class Cluster;
+
+/// Chapel-style execution context: which cluster and locale the current
+/// task is (conceptually) running on. Worker threads of a TaskPool set
+/// this for the duration of each task; code outside any cluster sees the
+/// default context (no cluster, locale 0).
+struct TaskContext {
+  Cluster* cluster = nullptr;
+  std::uint32_t locale_id = 0;
+  std::uint32_t worker_id = 0;
+};
+
+/// The calling thread's context (mutable; prefer LocaleScope).
+TaskContext& this_task() noexcept;
+
+/// RAII context switch — the moral equivalent of Chapel's `on` statement
+/// body: inside the scope, `this_task()` reports the given placement.
+class LocaleScope {
+ public:
+  LocaleScope(Cluster& cluster, std::uint32_t locale_id,
+              std::uint32_t worker_id = 0) noexcept;
+  ~LocaleScope();
+  LocaleScope(const LocaleScope&) = delete;
+  LocaleScope& operator=(const LocaleScope&) = delete;
+
+ private:
+  TaskContext saved_;
+};
+
+}  // namespace rcua::rt

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rcua::sim {
+
+/// Per-task virtual clock.
+///
+/// Benchmark tasks each own one of these and attach it to their thread for
+/// the duration of the measured region (ClockScope). All charge sites in
+/// the library are no-ops when no clock is attached — unit tests and
+/// example programs run at native speed — and accumulate virtual
+/// nanoseconds when one is. A configuration's throughput is
+///   total_ops / max over tasks of vtime
+/// which is exactly the makespan of the simulated cluster execution.
+struct TaskClock {
+  /// Accumulated virtual nanoseconds.
+  std::uint64_t vtime_ns = 0;
+  /// Identity of the last data block this task touched; drives the
+  /// cached/streamed vs missed/first-touch cost split.
+  std::uint64_t last_block_id = ~0ULL;
+  /// Number of charge events (observability / tests).
+  std::uint64_t charge_events = 0;
+
+  void reset() noexcept {
+    vtime_ns = 0;
+    last_block_id = ~0ULL;
+    charge_events = 0;
+  }
+};
+
+/// True when a virtual clock is attached to the calling thread.
+bool enabled() noexcept;
+
+/// The attached clock, or nullptr.
+TaskClock* current() noexcept;
+
+/// Adds `ns` virtual nanoseconds to the attached clock; no-op when none.
+void charge(double ns) noexcept;
+
+/// Current virtual time of the attached clock (0 when none).
+std::uint64_t now_v() noexcept;
+
+/// Advances the attached clock to at least `t` (used by resources when a
+/// queued acquisition completes later than the task's own time).
+void advance_to(std::uint64_t t) noexcept;
+
+/// Models one element access to a data block.
+///
+/// `block_id` must be globally unique per block (pointer value works);
+/// `remote` is whether the block lives on another locale. The cost is
+/// selected by whether the task's previous access hit the same block:
+///   same block:   local_cached_ns        / remote_stream_ns
+///   other block:  dram_miss_ns           / remote_get_ns (or PUT)
+/// so sequential scans become cheap and random access becomes expensive
+/// without the data structure ever being told the access pattern.
+/// `extra_on_miss_ns` is added only on a block switch (e.g. RCUArray's
+/// snapshot-spine chain misses, which a hot loop over one block amortizes
+/// away).
+void touch_block(std::uint64_t block_id, bool remote, bool is_write,
+                 double extra_on_miss_ns = 0.0) noexcept;
+
+/// RAII attachment of a clock to the calling thread. Nests (restores the
+/// previous clock on destruction).
+class ClockScope {
+ public:
+  explicit ClockScope(TaskClock& clock) noexcept;
+  ~ClockScope();
+  ClockScope(const ClockScope&) = delete;
+  ClockScope& operator=(const ClockScope&) = delete;
+
+ private:
+  TaskClock* prev_;
+};
+
+}  // namespace rcua::sim

@@ -1,0 +1,66 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace rcua::util {
+
+std::optional<std::string> env_str(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  auto s = env_str(name);
+  if (!s) return fallback;
+  try {
+    return std::stoull(*s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double env_f64(const char* name, double fallback) {
+  auto s = env_str(name);
+  if (!s) return fallback;
+  try {
+    return std::stod(*s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_bool(const char* name, bool fallback) {
+  auto s = env_str(name);
+  if (!s) return fallback;
+  std::string lower = *s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
+    return false;
+  return fallback;
+}
+
+std::vector<std::uint64_t> env_u64_list(const char* name,
+                                        std::vector<std::uint64_t> fallback) {
+  auto s = env_str(name);
+  if (!s) return fallback;
+  std::vector<std::uint64_t> out;
+  std::stringstream ss(*s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      out.push_back(std::stoull(item));
+    } catch (...) {
+      // Skip unparsable elements.
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace rcua::util

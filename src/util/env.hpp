@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcua::util {
+
+/// Reads environment variable `name` as a u64; returns `fallback` when the
+/// variable is unset or unparsable.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Reads environment variable `name` as a double.
+double env_f64(const char* name, double fallback);
+
+/// Reads environment variable `name` as a bool (accepts 0/1/true/false/
+/// yes/no, case-insensitive).
+bool env_bool(const char* name, bool fallback);
+
+/// Reads environment variable `name` as a comma-separated list of u64s,
+/// e.g. RCUA_LOCALES="1,2,4,8". Returns `fallback` when unset or when no
+/// element parses.
+std::vector<std::uint64_t> env_u64_list(const char* name,
+                                        std::vector<std::uint64_t> fallback);
+
+/// Raw accessor; empty optional when unset.
+std::optional<std::string> env_str(const char* name);
+
+}  // namespace rcua::util

@@ -1,0 +1,49 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rcua::util {
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  n_ += other.n_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::quantile_ns(double q) const noexcept {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(n_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      // Midpoint of bucket [2^(i-1), 2^i).
+      const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+      const std::uint64_t hi = i == 0 ? 1 : (1ULL << i);
+      return 0.5 * static_cast<double>(lo + hi);
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string LatencyHistogram::render() const {
+  std::ostringstream os;
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+    const auto bar_len = static_cast<std::size_t>(
+        50.0 * static_cast<double>(counts_[i]) / static_cast<double>(peak));
+    os << "[>=" << lo << "ns] " << std::string(std::max<std::size_t>(bar_len, 1), '#')
+       << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rcua::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcua::util {
+
+/// Log2-bucketed latency histogram (nanoseconds). Lock-free to *record*
+/// only from a single thread; benchmark tasks each own one and merge at
+/// the end.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t ns) noexcept {
+    ++counts_[bucket_of(ns)];
+    total_ += ns;
+    ++n_;
+    if (ns > max_) max_ = ns;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept { return max_; }
+  [[nodiscard]] double mean_ns() const noexcept {
+    return n_ ? static_cast<double>(total_) / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Approximate quantile from bucket midpoints, q in [0,1].
+  [[nodiscard]] double quantile_ns(double q) const noexcept;
+
+  /// Multi-line ASCII rendering of the occupied buckets.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  static std::size_t bucket_of(std::uint64_t ns) noexcept {
+    if (ns == 0) return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(ns));
+  }
+
+  std::uint64_t counts_[kBuckets]{};
+  std::uint64_t total_ = 0;
+  std::uint64_t n_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rcua::util

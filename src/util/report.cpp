@@ -1,0 +1,58 @@
+#include "util/report.hpp"
+
+#include <sstream>
+
+#include "reclaim/hazard.hpp"
+#include "reclaim/qsbr.hpp"
+#include "runtime/cluster.hpp"
+#include "util/table.hpp"
+
+namespace rcua::util {
+
+std::string Report::comm(rt::Cluster& cluster) {
+  Table t({"locale", "gets", "puts", "on-stmts"});
+  for (std::uint32_t l = 0; l < cluster.num_locales(); ++l) {
+    t.add_row({std::to_string(l), std::to_string(cluster.comm().gets(l)),
+               std::to_string(cluster.comm().puts(l)),
+               std::to_string(cluster.comm().executes(l))});
+  }
+  t.add_row({"total", std::to_string(cluster.comm().total_gets()),
+             std::to_string(cluster.comm().total_puts()),
+             std::to_string(cluster.comm().total_executes())});
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+std::string Report::memory(rt::Cluster& cluster) {
+  Table t({"locale", "allocs", "frees", "bytes_live"});
+  for (std::uint32_t l = 0; l < cluster.num_locales(); ++l) {
+    const rt::Locale& loc = cluster.locale(l);
+    t.add_row({std::to_string(l), std::to_string(loc.allocations()),
+               std::to_string(loc.frees()),
+               std::to_string(loc.bytes_live())});
+  }
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+std::string Report::qsbr(const reclaim::Qsbr& domain) {
+  const auto s = domain.stats();
+  std::ostringstream os;
+  os << "qsbr: epoch=" << domain.current_epoch() << " defers=" << s.defers
+     << " checkpoints=" << s.checkpoints << " reclaimed=" << s.reclaimed
+     << " pending=" << (s.defers - s.reclaimed) << '\n';
+  return os.str();
+}
+
+std::string Report::hazard(const reclaim::HazardDomain& domain) {
+  std::ostringstream os;
+  os << "hazard: retired=" << domain.retired_count()
+     << " freed=" << domain.freed_count()
+     << " pending=" << (domain.retired_count() - domain.freed_count())
+     << '\n';
+  return os.str();
+}
+
+}  // namespace rcua::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace rcua::rt {
+class Cluster;
+}
+namespace rcua::reclaim {
+class Qsbr;
+class HazardDomain;
+}
+
+namespace rcua::util {
+
+/// Human-readable observability reports: per-locale communication volume,
+/// per-locale memory accounting, reclamation-domain statistics. Benches
+/// and examples print these next to throughput so locality and
+/// reclamation claims are checkable, not just asserted.
+struct Report {
+  /// Per-locale GET/PUT/on counts (initiator-attributed).
+  static std::string comm(rt::Cluster& cluster);
+
+  /// Per-locale allocation counts and live bytes.
+  static std::string memory(rt::Cluster& cluster);
+
+  /// QSBR domain counters plus registry occupancy.
+  static std::string qsbr(const reclaim::Qsbr& domain);
+
+  /// Hazard-pointer domain counters.
+  static std::string hazard(const reclaim::HazardDomain& domain);
+};
+
+}  // namespace rcua::util

@@ -1,0 +1,46 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcua::util {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  OnlineStats acc;
+  for (double x : sorted) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p90 = quantile_sorted(sorted, 0.9);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace rcua::util

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rcua::util {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1 denominator)
+  double median = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Computes summary statistics. Does not modify the input.
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Geometric mean; elements must be positive.
+double geomean(std::span<const double> xs);
+
+/// Welford's online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace rcua::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcua::util {
+
+/// Minimal aligned ASCII table / CSV emitter for benchmark output.
+///
+/// Usage:
+///   Table t({"locales", "EBRArray", "QSBRArray"});
+///   t.add_row({"2", "1.2e7", "5.9e8"});
+///   t.print(std::cout);          // aligned columns
+///   t.print_csv(std::cout);      // machine-readable
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double in engineering-friendly short form (e.g. "5.93e+08").
+  static std::string num(double v);
+
+  /// Formats with fixed decimals.
+  static std::string fixed(double v, int decimals);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcua::util

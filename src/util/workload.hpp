@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "platform/rng.hpp"
+
+namespace rcua::util {
+
+/// Bounded Zipfian sampler over [0, n) with skew parameter theta in
+/// (0, 1) — the Gray et al. "quickly generating billion-record..."
+/// construction used by YCSB. theta -> 0 approaches uniform; the YCSB
+/// default is 0.99 (heavily skewed).
+///
+/// Used by the skew ablation: the paper's evaluation only covers uniform
+/// random and sequential access, but real table workloads are skewed, and
+/// skew concentrates traffic on few blocks/locales.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+      : ZipfGenerator(n, theta, seed, compute_zetan(n, theta)) {}
+
+  /// Construction with a precomputed zeta(n, theta): computing zeta is
+  /// O(n), so benches compute it once and share it across tasks.
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed,
+                double zetan)
+      : n_(n), theta_(theta), rng_(seed), zetan_(zetan) {
+    const double zeta2 = compute_zetan(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// zeta(n, theta) = sum_{i=1..n} 1/i^theta.
+  static double compute_zetan(std::uint64_t n, double theta) {
+    return zeta(n, theta);
+  }
+
+  std::uint64_t next() {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+  [[nodiscard]] std::uint64_t range() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  plat::Xoshiro256 rng_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+/// Uniform index stream (wraps the PRNG; same interface as Zipf).
+class UniformGenerator {
+ public:
+  UniformGenerator(std::uint64_t n, std::uint64_t seed) : n_(n), rng_(seed) {}
+  std::uint64_t next() { return rng_.next_below(n_); }
+  [[nodiscard]] std::uint64_t range() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_;
+  plat::Xoshiro256 rng_;
+};
+
+/// Sequential stream starting at `start`, wrapping at n.
+class SequentialGenerator {
+ public:
+  SequentialGenerator(std::uint64_t n, std::uint64_t start)
+      : n_(n), next_(start % n) {}
+  std::uint64_t next() {
+    const std::uint64_t v = next_;
+    next_ = (next_ + 1) % n_;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t range() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t next_;
+};
+
+}  // namespace rcua::util

@@ -1,0 +1,193 @@
+// Tests for the RCUArray extensions: shrink (resize_remove), pinned
+// snapshot views, and the locality-aware bulk operations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/rcu_array.hpp"
+
+namespace rt = rcua::rt;
+using rcua::EbrPolicy;
+using rcua::QsbrPolicy;
+using rcua::RCUArray;
+
+namespace {
+
+template <typename Policy>
+struct ArrayOpsTyped : public ::testing::Test {
+  using Array = RCUArray<std::uint64_t, Policy>;
+};
+
+using Policies = ::testing::Types<EbrPolicy, QsbrPolicy>;
+TYPED_TEST_SUITE(ArrayOpsTyped, Policies);
+
+void drain_qsbr() { rcua::reclaim::Qsbr::global().flush_unsafe(); }
+
+}  // namespace
+
+TYPED_TEST(ArrayOpsTyped, ShrinkRemovesWholeBlocks) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 4 * 64, {.block_size = 64});
+  arr.resize_remove(2 * 64);
+  EXPECT_EQ(arr.capacity(), 2 * 64u);
+  EXPECT_EQ(arr.num_blocks(), 2u);
+  // Partial blocks round DOWN: nothing removed.
+  arr.resize_remove(63);
+  EXPECT_EQ(arr.num_blocks(), 2u);
+  drain_qsbr();
+}
+
+TYPED_TEST(ArrayOpsTyped, ShrinkPreservesSurvivingRegion) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 4 * 64, {.block_size = 64});
+  for (std::size_t i = 0; i < 4 * 64; ++i) arr.write(i, i + 1);
+  arr.resize_remove(2 * 64);
+  for (std::size_t i = 0; i < 2 * 64; ++i) EXPECT_EQ(arr.read(i), i + 1);
+  drain_qsbr();
+}
+
+TYPED_TEST(ArrayOpsTyped, ShrinkToZeroThenRegrow) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 2 * 64, {.block_size = 64});
+  arr.resize_remove(1 << 20);  // more than exists: clamp to empty
+  EXPECT_EQ(arr.capacity(), 0u);
+  arr.resize_add(64);
+  EXPECT_EQ(arr.capacity(), 64u);
+  arr.write(0, 7);
+  EXPECT_EQ(arr.read(0), 7u);
+  drain_qsbr();
+}
+
+TYPED_TEST(ArrayOpsTyped, ShrinkFreesBlocksEventually) {
+  const auto before = rcua::Block<std::uint64_t>::live_count();
+  {
+    rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+    typename TestFixture::Array arr(cluster, 4 * 64, {.block_size = 64});
+    EXPECT_EQ(rcua::Block<std::uint64_t>::live_count(), before + 4);
+    arr.resize_remove(2 * 64);
+    drain_qsbr();  // QSBR-deferred block deletions
+    EXPECT_EQ(rcua::Block<std::uint64_t>::live_count(), before + 2);
+  }
+  drain_qsbr();
+  EXPECT_EQ(rcua::Block<std::uint64_t>::live_count(), before);
+}
+
+TEST(ArrayOpsEbr, ShrinkWaitsForReadersBeforeFreeingBlocks) {
+  rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 3});
+  RCUArray<std::uint64_t, EbrPolicy> arr(cluster, 2 * 64, {.block_size = 64});
+  arr.write(64, 0xBEEF);  // in the block that will be removed
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> bad{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Keep the surviving region hot while the shrink drains.
+      if (arr.read(0) > 1) bad.fetch_add(1);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  while (reads.load() == 0) std::this_thread::yield();
+  arr.resize_remove(64);
+  EXPECT_EQ(arr.capacity(), 64u);
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TYPED_TEST(ArrayOpsTyped, ViewReadsConsistentSnapshot) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 2 * 64, {.block_size = 64});
+  for (std::size_t i = 0; i < 2 * 64; ++i) arr.write(i, i * 3);
+  {
+    auto view = arr.view();
+    EXPECT_EQ(view.capacity(), 2 * 64u);
+    EXPECT_EQ(view.num_blocks(), 2u);
+    for (std::size_t i = 0; i < view.capacity(); ++i) {
+      EXPECT_EQ(view[i], i * 3);
+    }
+  }
+  drain_qsbr();
+}
+
+TEST(ArrayOpsQsbr, ViewCapacityIsImmutableAcrossResize) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  RCUArray<std::uint64_t, QsbrPolicy> arr(cluster, 64, {.block_size = 64});
+  auto view = arr.view();
+  arr.resize_add(64);
+  EXPECT_EQ(view.capacity(), 64u);   // the pinned spine
+  EXPECT_EQ(arr.capacity(), 128u);   // the live array
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+}
+
+TEST(ArrayOpsEbr, ViewBlocksWritersUntilDropped) {
+  rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 2});
+  RCUArray<std::uint64_t, EbrPolicy> arr(cluster, 64, {.block_size = 64});
+  std::atomic<bool> resize_done{false};
+  std::thread resizer;
+  {
+    auto view = arr.view();  // holds the read-side section open
+    resizer = std::thread([&] {
+      arr.resize_add(64);
+      resize_done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(resize_done.load()) << "resize reclaimed under a view";
+  }
+  resizer.join();
+  EXPECT_TRUE(resize_done.load());
+}
+
+TYPED_TEST(ArrayOpsTyped, FillSetsEveryElement) {
+  rt::Cluster cluster({.num_locales = 3, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 6 * 32, {.block_size = 32});
+  arr.fill(0xABCD);
+  for (std::size_t i = 0; i < arr.capacity(); ++i) {
+    ASSERT_EQ(arr.read(i), 0xABCDu);
+  }
+  drain_qsbr();
+}
+
+TYPED_TEST(ArrayOpsTyped, ForEachBlockRunsOnOwningLocale) {
+  rt::Cluster cluster({.num_locales = 3, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 6 * 32, {.block_size = 32});
+  std::atomic<std::uint64_t> visited{0};
+  std::atomic<std::uint64_t> misplaced{0};
+  arr.for_each_block_local([&](std::size_t b, rcua::Block<std::uint64_t>& blk) {
+    visited.fetch_add(1);
+    if (rt::this_task().locale_id != blk.owner() ||
+        blk.owner() != b % 3) {
+      misplaced.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(visited.load(), 6u);
+  EXPECT_EQ(misplaced.load(), 0u);
+  drain_qsbr();
+}
+
+TYPED_TEST(ArrayOpsTyped, ReduceSumsAllElements) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 4 * 32, {.block_size = 32});
+  for (std::size_t i = 0; i < arr.capacity(); ++i) arr.write(i, 2);
+  const auto sum = arr.reduce(
+      std::uint64_t{0},
+      [](std::uint64_t acc, const std::uint64_t& v) { return acc + v; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 2 * 4 * 32u);
+  drain_qsbr();
+}
+
+TYPED_TEST(ArrayOpsTyped, FillThenReduceRoundTrip) {
+  rt::Cluster cluster({.num_locales = 4, .workers_per_locale = 2});
+  typename TestFixture::Array arr(cluster, 8 * 16, {.block_size = 16});
+  arr.fill(5);
+  const auto sum = arr.reduce(
+      std::uint64_t{0},
+      [](std::uint64_t acc, const std::uint64_t& v) { return acc + v; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 5 * 8 * 16u);
+  drain_qsbr();
+}

@@ -1,0 +1,116 @@
+// Tests for DistBitset (growable distributed atomic bitset).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "containers/dist_bitset.hpp"
+
+namespace rt = rcua::rt;
+using rcua::cont::DistBitset;
+
+namespace {
+void drain_qsbr() { rcua::reclaim::Qsbr::global().flush_unsafe(); }
+}  // namespace
+
+TEST(DistBitset, SetTestClear) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  DistBitset<> bits(cluster, 256, {.block_size_words = 4});
+  EXPECT_FALSE(bits.test(7));
+  EXPECT_FALSE(bits.set(7));
+  EXPECT_TRUE(bits.test(7));
+  EXPECT_TRUE(bits.set(7));   // already set
+  EXPECT_TRUE(bits.clear(7));
+  EXPECT_FALSE(bits.test(7));
+  EXPECT_FALSE(bits.clear(7));
+  drain_qsbr();
+}
+
+TEST(DistBitset, TestBeyondCapacityIsFalse) {
+  rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 2});
+  DistBitset<> bits(cluster, 64, {.block_size_words = 2});
+  EXPECT_FALSE(bits.test(1 << 20));
+  drain_qsbr();
+}
+
+TEST(DistBitset, SetGrowsOnDemand) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  DistBitset<> bits(cluster, 64, {.block_size_words = 2});
+  const std::size_t before = bits.capacity_bits();
+  bits.set(before + 100);
+  EXPECT_GT(bits.capacity_bits(), before);
+  EXPECT_TRUE(bits.test(before + 100));
+  EXPECT_FALSE(bits.test(before + 101));
+  drain_qsbr();
+}
+
+TEST(DistBitset, CountMatchesSetBits) {
+  rt::Cluster cluster({.num_locales = 3, .workers_per_locale = 2});
+  DistBitset<> bits(cluster, 6 * 64 * 4, {.block_size_words = 4});
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < bits.capacity_bits(); i += 17) {
+    bits.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(bits.count(), expected);
+  drain_qsbr();
+}
+
+TEST(DistBitset, TryClaimIsExclusive) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  DistBitset<> bits(cluster, 4096, {.block_size_words = 4});
+  constexpr int kThreads = 4;
+  constexpr std::size_t kBits = 512;
+  std::vector<std::vector<std::size_t>> claimed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kBits; ++i) {
+        if (bits.try_claim(i)) claimed[t].push_back(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every bit claimed exactly once across all threads.
+  std::set<std::size_t> all;
+  std::size_t total = 0;
+  for (const auto& v : claimed) {
+    total += v.size();
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, kBits);
+  EXPECT_EQ(all.size(), kBits);
+  drain_qsbr();
+}
+
+TEST(DistBitset, ConcurrentSettersWithGrowth) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 4});
+  DistBitset<> bits(cluster, 64, {.block_size_words = 2});
+  constexpr int kThreads = 4;
+  constexpr std::size_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        bits.set(static_cast<std::size_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bits.count(), kThreads * kPerThread);
+  for (std::size_t i = 0; i < kThreads * kPerThread; ++i) {
+    ASSERT_TRUE(bits.test(i)) << i;
+  }
+  drain_qsbr();
+}
+
+TEST(DistBitset, EbrPolicyVariantWorks) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  DistBitset<rcua::EbrPolicy> bits(cluster, 256, {.block_size_words = 2});
+  bits.set(100);
+  EXPECT_TRUE(bits.test(100));
+  EXPECT_EQ(bits.count(), 1u);
+}

@@ -1,0 +1,105 @@
+// Tests for the cluster-wide WriteLock (GlobalLock).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "runtime/global_lock.hpp"
+#include "runtime/this_task.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/task_clock.hpp"
+
+namespace rt = rcua::rt;
+namespace sim = rcua::sim;
+
+TEST(GlobalLock, MutualExclusion) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 1});
+  rt::GlobalLock lock(cluster);
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3000; ++i) {
+        std::lock_guard<rt::GlobalLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 18000u);
+  EXPECT_EQ(lock.acquisitions(), 18000u);
+}
+
+TEST(GlobalLock, TryLock) {
+  rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 1});
+  rt::GlobalLock lock(cluster);
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(GlobalLock, TracksRemoteAcquisitions) {
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 1});
+  rt::GlobalLock lock(cluster, /*owner_locale=*/0);
+  {
+    std::lock_guard<rt::GlobalLock> guard(lock);  // from "locale 0"
+  }
+  {
+    rt::LocaleScope scope(cluster, 1);
+    std::lock_guard<rt::GlobalLock> guard(lock);  // remote
+  }
+  EXPECT_EQ(lock.acquisitions(), 2u);
+  EXPECT_EQ(lock.remote_acquisitions(), 1u);
+}
+
+TEST(GlobalLock, CriticalSectionSerializesInVirtualTime) {
+  sim::CostModelOverride save;
+  auto& m = sim::CostModel::mutable_instance();
+  m.lock_handoff_ns = 100;
+  m.remote_stream_ns = 0;
+  m.atomic_rmw_ns = 0;
+
+  rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 1});
+  rt::GlobalLock lock(cluster);
+
+  sim::TaskClock a, b;
+  {
+    sim::ClockScope scope(a);
+    lock.lock();
+    sim::charge(10000);  // long critical section
+    lock.unlock();
+  }
+  {
+    sim::ClockScope scope(b);
+    lock.lock();  // must queue behind a's whole CS
+    lock.unlock();
+  }
+  EXPECT_GE(b.vtime_ns, a.vtime_ns);
+}
+
+TEST(GlobalLock, RemoteHandoffCostsMore) {
+  sim::CostModelOverride save;
+  auto& m = sim::CostModel::mutable_instance();
+  m.lock_handoff_ns = 100;
+  m.remote_stream_ns = 900;
+  m.atomic_rmw_ns = 1;
+
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 1});
+  rt::GlobalLock local_lock(cluster, 0);
+  rt::GlobalLock remote_lock(cluster, 1);  // owner is the other locale
+
+  sim::TaskClock local_clock, remote_clock;
+  {
+    sim::ClockScope scope(local_clock);
+    std::lock_guard<rt::GlobalLock> guard(local_lock);
+  }
+  {
+    sim::ClockScope scope(remote_clock);
+    std::lock_guard<rt::GlobalLock> guard(remote_lock);
+  }
+  EXPECT_GT(remote_clock.vtime_ns, local_clock.vtime_ns);
+}

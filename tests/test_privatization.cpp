@@ -1,0 +1,94 @@
+// Tests for the privatization registry (chpl_getPrivatizedCopy).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/privatization.hpp"
+
+namespace rt = rcua::rt;
+
+TEST(Privatization, CreateSetGet) {
+  rt::PrivatizationRegistry reg(4);
+  const int pid = reg.create();
+  int a = 1, b = 2;
+  reg.set(pid, 0, &a);
+  reg.set(pid, 3, &b);
+  EXPECT_EQ(reg.get(pid, 0), &a);
+  EXPECT_EQ(reg.get(pid, 3), &b);
+  EXPECT_EQ(reg.get(pid, 1), nullptr);
+  reg.destroy(pid);
+}
+
+TEST(Privatization, PidsAreDistinctWhileLive) {
+  rt::PrivatizationRegistry reg(2);
+  const int p1 = reg.create();
+  const int p2 = reg.create();
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reg.live_pids(), 2u);
+  reg.destroy(p1);
+  reg.destroy(p2);
+  EXPECT_EQ(reg.live_pids(), 0u);
+}
+
+TEST(Privatization, DestroyClearsSlotsAndRecyclesPid) {
+  rt::PrivatizationRegistry reg(2);
+  const int pid = reg.create();
+  int x = 0;
+  reg.set(pid, 0, &x);
+  reg.destroy(pid);
+  const int again = reg.create();
+  EXPECT_EQ(again, pid);  // recycled
+  EXPECT_EQ(reg.get(again, 0), nullptr);
+  reg.destroy(again);
+}
+
+TEST(Privatization, IndependentPidsDoNotAlias) {
+  rt::PrivatizationRegistry reg(2);
+  const int p1 = reg.create();
+  const int p2 = reg.create();
+  int a = 1, b = 2;
+  reg.set(p1, 0, &a);
+  reg.set(p2, 0, &b);
+  EXPECT_EQ(reg.get(p1, 0), &a);
+  EXPECT_EQ(reg.get(p2, 0), &b);
+  reg.destroy(p1);
+  reg.destroy(p2);
+}
+
+TEST(Privatization, ConcurrentCreateDistinct) {
+  rt::PrivatizationRegistry reg(2, /*max_pids=*/512);
+  std::vector<std::thread> threads;
+  std::vector<int> pids(64, -1);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) pids[t * 8 + i] = reg.create();
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<int> uniq(pids.begin(), pids.end());
+  EXPECT_EQ(uniq.size(), 64u);
+  for (int pid : pids) reg.destroy(pid);
+}
+
+TEST(Privatization, GetIsLockFreeHotPathUnderWrites) {
+  rt::PrivatizationRegistry reg(1, 512);
+  const int pid = reg.create();
+  int value = 0;
+  reg.set(pid, 0, &value);
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    while (!stop.load()) {
+      const int p = reg.create();
+      reg.destroy(p);
+    }
+  });
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_EQ(reg.get(pid, 0), &value);
+  }
+  stop.store(true);
+  churner.join();
+  reg.destroy(pid);
+}

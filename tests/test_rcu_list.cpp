@@ -1,0 +1,126 @@
+// Tests for RcuList: the classic RCU linked list on the TLS-free EBR.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "containers/rcu_list.hpp"
+
+using rcua::cont::RcuList;
+
+TEST(RcuList, PushFindRemove) {
+  RcuList<int> list;
+  EXPECT_TRUE(list.empty());
+  list.push_front(1);
+  list.push_front(2);
+  list.push_front(3);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.contains(2));
+  EXPECT_FALSE(list.contains(9));
+  EXPECT_TRUE(list.remove_if([](int v) { return v == 2; }));
+  EXPECT_FALSE(list.contains(2));
+  EXPECT_FALSE(list.remove_if([](int v) { return v == 2; }));
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(RcuList, ForEachVisitsAllInLifoOrder) {
+  RcuList<int> list;
+  for (int i = 0; i < 5; ++i) list.push_front(i);
+  std::vector<int> seen;
+  const std::size_t n = list.for_each([&](const int& v) { seen.push_back(v); });
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(seen, (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(RcuList, FindReturnsCopy) {
+  RcuList<std::pair<int, int>> list;
+  list.push_front({1, 10});
+  list.push_front({2, 20});
+  const auto hit =
+      list.find_if([](const auto& p) { return p.first == 1; });
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->second, 10);
+}
+
+TEST(RcuList, RemoveHeadMiddleTail) {
+  RcuList<int> list;
+  for (int i = 1; i <= 3; ++i) list.push_front(i);  // [3,2,1]
+  EXPECT_TRUE(list.remove_if([](int v) { return v == 3; }));  // head
+  EXPECT_TRUE(list.remove_if([](int v) { return v == 1; }));  // tail
+  EXPECT_TRUE(list.remove_if([](int v) { return v == 2; }));  // last
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(RcuList, DestructorFreesRemaining) {
+  static std::atomic<int> live{0};
+  struct Tracked {
+    Tracked() { live.fetch_add(1); }
+    Tracked(const Tracked&) { live.fetch_add(1); }
+    ~Tracked() { live.fetch_sub(1); }
+  };
+  {
+    RcuList<Tracked> list;
+    for (int i = 0; i < 10; ++i) list.push_front(Tracked{});
+  }
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(RcuList, ReadersSurviveConcurrentRemoval) {
+  struct Canary {
+    std::uint64_t magic = 0xA11CE5ED;
+    int value = 0;
+  };
+  RcuList<Canary> list;
+  for (int i = 0; i < 64; ++i) list.push_front(Canary{.value = i});
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> traversals{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        list.for_each([&](const Canary& c) {
+          if (c.magic != 0xA11CE5ED) violations.fetch_add(1);
+        });
+        traversals.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Writer removes and re-adds elements continuously.
+  for (int round = 0; round < 100; ++round) {
+    list.remove_if([&](const Canary& c) { return c.value == round % 64; });
+    list.push_front(Canary{.value = round % 64});
+  }
+  while (traversals.load() < 50) std::this_thread::yield();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(list.size(), 64u);
+}
+
+TEST(RcuList, ConcurrentWritersSerialize) {
+  RcuList<int> list;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) list.push_front(t * 1000 + i);
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(list.size(), 800u);
+  std::set<int> all;
+  list.for_each([&](const int& v) { all.insert(v); });
+  EXPECT_EQ(all.size(), 800u);
+}
+
+TEST(RcuList, GracePeriodsAdvanceOnRemoval) {
+  RcuList<int> list;
+  list.push_front(1);
+  const auto e0 = list.ebr().epoch();
+  list.remove_if([](int v) { return v == 1; });
+  EXPECT_GT(list.ebr().epoch(), e0);
+}
