@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_privatization.dir/bench_ablation_privatization.cpp.o"
+  "CMakeFiles/bench_ablation_privatization.dir/bench_ablation_privatization.cpp.o.d"
+  "bench_ablation_privatization"
+  "bench_ablation_privatization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_privatization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reclaim.dir/bench_ablation_reclaim.cpp.o"
+  "CMakeFiles/bench_ablation_reclaim.dir/bench_ablation_reclaim.cpp.o.d"
+  "bench_ablation_reclaim"
+  "bench_ablation_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recycle.dir/bench_ablation_recycle.cpp.o"
+  "CMakeFiles/bench_ablation_recycle.dir/bench_ablation_recycle.cpp.o.d"
+  "bench_ablation_recycle"
+  "bench_ablation_recycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

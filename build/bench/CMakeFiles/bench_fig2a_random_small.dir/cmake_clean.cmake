@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_random_small.dir/bench_fig2a_random_small.cpp.o"
+  "CMakeFiles/bench_fig2a_random_small.dir/bench_fig2a_random_small.cpp.o.d"
+  "bench_fig2a_random_small"
+  "bench_fig2a_random_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_random_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_sequential_small.dir/bench_fig2b_sequential_small.cpp.o"
+  "CMakeFiles/bench_fig2b_sequential_small.dir/bench_fig2b_sequential_small.cpp.o.d"
+  "bench_fig2b_sequential_small"
+  "bench_fig2b_sequential_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_sequential_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_random_large.dir/bench_fig2c_random_large.cpp.o"
+  "CMakeFiles/bench_fig2c_random_large.dir/bench_fig2c_random_large.cpp.o.d"
+  "bench_fig2c_random_large"
+  "bench_fig2c_random_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_random_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_resize.dir/bench_fig3_resize.cpp.o"
+  "CMakeFiles/bench_fig3_resize.dir/bench_fig3_resize.cpp.o.d"
+  "bench_fig3_resize"
+  "bench_fig3_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

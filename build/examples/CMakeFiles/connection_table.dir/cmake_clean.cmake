@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_table.dir/connection_table.cpp.o"
+  "CMakeFiles/connection_table.dir/connection_table.cpp.o.d"
+  "connection_table"
+  "connection_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

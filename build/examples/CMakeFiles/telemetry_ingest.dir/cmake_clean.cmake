@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_ingest.dir/telemetry_ingest.cpp.o"
+  "CMakeFiles/telemetry_ingest.dir/telemetry_ingest.cpp.o.d"
+  "telemetry_ingest"
+  "telemetry_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/timing.cpp" "src/CMakeFiles/rcua.dir/platform/timing.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/platform/timing.cpp.o.d"
+  "/root/repo/src/platform/topology.cpp" "src/CMakeFiles/rcua.dir/platform/topology.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/platform/topology.cpp.o.d"
+  "/root/repo/src/reclaim/call_rcu.cpp" "src/CMakeFiles/rcua.dir/reclaim/call_rcu.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/reclaim/call_rcu.cpp.o.d"
+  "/root/repo/src/reclaim/ebr.cpp" "src/CMakeFiles/rcua.dir/reclaim/ebr.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/reclaim/ebr.cpp.o.d"
+  "/root/repo/src/reclaim/hazard.cpp" "src/CMakeFiles/rcua.dir/reclaim/hazard.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/reclaim/hazard.cpp.o.d"
+  "/root/repo/src/reclaim/qsbr.cpp" "src/CMakeFiles/rcua.dir/reclaim/qsbr.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/reclaim/qsbr.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/CMakeFiles/rcua.dir/runtime/cluster.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/comm.cpp" "src/CMakeFiles/rcua.dir/runtime/comm.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/runtime/comm.cpp.o.d"
+  "/root/repo/src/runtime/global_lock.cpp" "src/CMakeFiles/rcua.dir/runtime/global_lock.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/runtime/global_lock.cpp.o.d"
+  "/root/repo/src/runtime/privatization.cpp" "src/CMakeFiles/rcua.dir/runtime/privatization.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/runtime/privatization.cpp.o.d"
+  "/root/repo/src/runtime/task_pool.cpp" "src/CMakeFiles/rcua.dir/runtime/task_pool.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/runtime/task_pool.cpp.o.d"
+  "/root/repo/src/runtime/this_task.cpp" "src/CMakeFiles/rcua.dir/runtime/this_task.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/runtime/this_task.cpp.o.d"
+  "/root/repo/src/runtime/thread_registry.cpp" "src/CMakeFiles/rcua.dir/runtime/thread_registry.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/runtime/thread_registry.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/rcua.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/rcua.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/task_clock.cpp" "src/CMakeFiles/rcua.dir/sim/task_clock.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/sim/task_clock.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/rcua.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/rcua.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/report.cpp" "src/CMakeFiles/rcua.dir/util/report.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/util/report.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rcua.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rcua.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rcua.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

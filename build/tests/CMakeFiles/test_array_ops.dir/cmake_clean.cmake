@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_ops.dir/test_array_ops.cpp.o"
+  "CMakeFiles/test_array_ops.dir/test_array_ops.cpp.o.d"
+  "test_array_ops"
+  "test_array_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_call_rcu.dir/test_call_rcu.cpp.o"
+  "CMakeFiles/test_call_rcu.dir/test_call_rcu.cpp.o.d"
+  "test_call_rcu"
+  "test_call_rcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_call_rcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charging.dir/test_charging.cpp.o"
+  "CMakeFiles/test_charging.dir/test_charging.cpp.o.d"
+  "test_charging"
+  "test_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_properties.dir/test_container_properties.cpp.o"
+  "CMakeFiles/test_container_properties.dir/test_container_properties.cpp.o.d"
+  "test_container_properties"
+  "test_container_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_bitset.dir/test_dist_bitset.cpp.o"
+  "CMakeFiles/test_dist_bitset.dir/test_dist_bitset.cpp.o.d"
+  "test_dist_bitset"
+  "test_dist_bitset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_bitset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

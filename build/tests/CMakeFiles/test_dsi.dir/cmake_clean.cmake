@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsi.dir/test_dsi.cpp.o"
+  "CMakeFiles/test_dsi.dir/test_dsi.cpp.o.d"
+  "test_dsi"
+  "test_dsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ebr.dir/test_ebr.cpp.o"
+  "CMakeFiles/test_ebr.dir/test_ebr.cpp.o.d"
+  "test_ebr"
+  "test_ebr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ebr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

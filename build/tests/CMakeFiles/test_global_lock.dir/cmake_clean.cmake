@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_lock.dir/test_global_lock.cpp.o"
+  "CMakeFiles/test_global_lock.dir/test_global_lock.cpp.o.d"
+  "test_global_lock"
+  "test_global_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

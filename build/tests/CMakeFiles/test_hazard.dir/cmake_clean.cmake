@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hazard.dir/test_hazard.cpp.o"
+  "CMakeFiles/test_hazard.dir/test_hazard.cpp.o.d"
+  "test_hazard"
+  "test_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_privatization.dir/test_privatization.cpp.o"
+  "CMakeFiles/test_privatization.dir/test_privatization.cpp.o.d"
+  "test_privatization"
+  "test_privatization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_privatization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qsbr.dir/test_qsbr.cpp.o"
+  "CMakeFiles/test_qsbr.dir/test_qsbr.cpp.o.d"
+  "test_qsbr"
+  "test_qsbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qsbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

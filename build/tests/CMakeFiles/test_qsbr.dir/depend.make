@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qsbr.
+# This may be replaced when dependencies are built.

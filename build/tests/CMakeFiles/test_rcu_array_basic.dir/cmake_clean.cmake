@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcu_array_basic.dir/test_rcu_array_basic.cpp.o"
+  "CMakeFiles/test_rcu_array_basic.dir/test_rcu_array_basic.cpp.o.d"
+  "test_rcu_array_basic"
+  "test_rcu_array_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcu_array_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcu_array_concurrent.dir/test_rcu_array_concurrent.cpp.o"
+  "CMakeFiles/test_rcu_array_concurrent.dir/test_rcu_array_concurrent.cpp.o.d"
+  "test_rcu_array_concurrent"
+  "test_rcu_array_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcu_array_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

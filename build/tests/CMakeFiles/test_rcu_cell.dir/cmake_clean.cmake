@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcu_cell.dir/test_rcu_cell.cpp.o"
+  "CMakeFiles/test_rcu_cell.dir/test_rcu_cell.cpp.o.d"
+  "test_rcu_cell"
+  "test_rcu_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcu_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcu_list.dir/test_rcu_list.cpp.o"
+  "CMakeFiles/test_rcu_list.dir/test_rcu_list.cpp.o.d"
+  "test_rcu_list"
+  "test_rcu_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcu_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

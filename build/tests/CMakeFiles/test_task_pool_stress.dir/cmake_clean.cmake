@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_pool_stress.dir/test_task_pool_stress.cpp.o"
+  "CMakeFiles/test_task_pool_stress.dir/test_task_pool_stress.cpp.o.d"
+  "test_task_pool_stress"
+  "test_task_pool_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_pool_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_registry.dir/test_thread_registry.cpp.o"
+  "CMakeFiles/test_thread_registry.dir/test_thread_registry.cpp.o.d"
+  "test_thread_registry"
+  "test_thread_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
