@@ -21,6 +21,23 @@ struct Session {
   std::uint64_t bytes = 0;
 };
 
+/// A pending session teardown: recycling the id is reclamation, so it
+/// rides the same QSBR grace period as everything else. Releasing
+/// immediately would let an acceptor reuse the slot while a worker that
+/// picked the id moments earlier is still accounting against it; deferred
+/// through QSBR, the release only runs once every in-flight user has
+/// checkpointed.
+struct Reap {
+  rcua::cont::DistIdTable<Session>* table;
+  std::size_t id;
+};
+
+void reap_session(void* p) {
+  auto* r = static_cast<Reap*>(p);
+  r->table->release(r->id);
+  delete r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,7 +76,11 @@ int main(int argc, char** argv) {
           if (live_pool.empty()) continue;
           id = live_pool[rng.next_below(live_pool.size())];
         }
-        sessions.get(id).bytes += 64;  // reference write, lock-free path
+        // Reference write on the lock-free path; workers on every locale
+        // hit the same hot sessions, so the accounting add is a relaxed
+        // atomic on the field.
+        rcua::plat::relaxed_fetch_add(sessions.get(id).bytes,
+                                      std::uint64_t{64});
         lookups.fetch_add(1, std::memory_order_relaxed);
         if (i % 512 == 0) rcua::reclaim::Qsbr::global().checkpoint();
       }
@@ -75,7 +96,8 @@ int main(int argc, char** argv) {
           }
         }
         if (id != ~std::size_t{0}) {
-          sessions.release(id);
+          rcua::reclaim::Qsbr::global().defer_fn(&reap_session,
+                                                 new Reap{&sessions, id});
           closed.fetch_add(1, std::memory_order_relaxed);
         }
         if (i % 512 == 0) rcua::reclaim::Qsbr::global().checkpoint();
@@ -83,6 +105,10 @@ int main(int argc, char** argv) {
     }
     rcua::reclaim::Qsbr::global().checkpoint();
   });
+
+  // Every task has joined, so no references are in flight: run any still
+  // deferred releases before the final accounting.
+  rcua::reclaim::Qsbr::global().flush_unsafe();
 
   std::printf("opened=%llu closed=%llu lookups=%llu\n",
               static_cast<unsigned long long>(opened.load()),

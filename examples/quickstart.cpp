@@ -34,12 +34,16 @@ int main() {
         const std::size_t i = rng.next_below(arr.capacity());
         // index() returns a reference: reads and updates cost the same,
         // and the reference stays valid across a concurrent resize
-        // because snapshots recycle blocks (paper Lemma 6).
+        // because snapshots recycle blocks (paper Lemma 6). Tasks race on
+        // the same slots by design, so accesses go through the relaxed
+        // element helpers (the §III-C contract, and what read()/write()
+        // do internally).
         std::uint64_t& slot = arr.index(i);
         if (rng.next_below(4) == 0) {
-          slot = i;  // update
+          rcua::plat::relaxed_store<std::uint64_t>(slot, i);  // update
         } else {
-          if (slot != 0 && slot != i) std::abort();  // read + invariant
+          const std::uint64_t v = rcua::plat::relaxed_load(slot);
+          if (v != 0 && v != i) std::abort();  // read + invariant
         }
         if (ops.fetch_add(1, std::memory_order_relaxed) % 256 == 0) {
           // QSBR discipline: checkpoint now and then so retired

@@ -37,9 +37,10 @@ int main(int argc, char** argv) {
     while (!stop.load(std::memory_order_relaxed)) {
       const std::size_t n = log.size();
       std::uint64_t checksum = 0;
-      // Only scan entries the producers have definitely finished: the
-      // relaxed-vector contract (see DistVector docs).
-      for (std::size_t i = 0; i + 64 < n; ++i) {
+      // Every entry below size() is fully written — push_back publishes
+      // slots in order with a release the acquire in size() pairs with
+      // (see DistVector docs) — so the whole prefix is scannable.
+      for (std::size_t i = 0; i < n; ++i) {
         checksum += log[i].value;
       }
       scans.fetch_add(1, std::memory_order_relaxed);

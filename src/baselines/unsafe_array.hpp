@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/block.hpp"
+#include "platform/atomics.hpp"
 #include "runtime/cluster.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
@@ -50,8 +51,25 @@ class UnsafeArray {
     return index_rw(i, false);
   }
 
-  T read(std::size_t i) { return index_rw(i, false); }
-  void write(std::size_t i, T value) { index_rw(i, true) = std::move(value); }
+  /// Same relaxed element contract as RCUArray::read/write: concurrent
+  /// access to one index is defined for machine-word T (what makes this
+  /// baseline "unsafe" is resize, not element access).
+  T read(std::size_t i) {
+    T& slot = index_rw(i, false);
+    if constexpr (plat::relaxed_capable_v<T>) {
+      return plat::relaxed_load(slot);
+    } else {
+      return slot;
+    }
+  }
+  void write(std::size_t i, T value) {
+    T& slot = index_rw(i, true);
+    if constexpr (plat::relaxed_capable_v<T>) {
+      plat::relaxed_store(slot, std::move(value));
+    } else {
+      slot = std::move(value);
+    }
+  }
 
   /// Grows by `num_elements` (whole blocks): reallocates the full storage
   /// and copies every existing element — Chapel's domain-reassignment

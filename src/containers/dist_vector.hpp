@@ -17,13 +17,15 @@ namespace rcua::cont {
 /// `push_back` from any task on any locale, concurrent with reads, with
 /// capacity growth happening through RCUArray's parallel-safe resize.
 ///
-/// Semantics: `push_back` reserves an index with one fetch-add, grows the
-/// backing array if needed, then writes through the reserved reference.
-/// `size()` counts *reserved* slots; a slot's write happens-after its
-/// reservation but concurrent readers racing the writing thread may
-/// observe the element's default value — the usual relaxed-vector
-/// contract (readers synchronize via their own happens-before edges,
-/// e.g. reading indices published by the producer).
+/// Semantics: `push_back` reserves an index with one fetch-add on a
+/// private reservation counter, grows the backing array if needed, writes
+/// through the reserved reference, and only then publishes the slot by
+/// advancing `size_` — in reservation order, with a release store that a
+/// reader's `size()` acquires. `size()` therefore counts *fully written*
+/// slots: any index below it reads the completed element, with a proper
+/// happens-before edge (no torn or default values, no data race).
+/// Producers briefly wait for earlier reservations to publish; the gap is
+/// the time between a competitor's fetch-add and its slot store.
 template <typename T, typename Policy = QsbrPolicy>
 class DistVector {
  public:
@@ -45,9 +47,21 @@ class DistVector {
   /// Appends `value`; returns its index. Parallel-safe.
   std::size_t push_back(T value) {
     const std::size_t idx =
-        size_->fetch_add(1, std::memory_order_acq_rel);
+        reserved_->fetch_add(1, std::memory_order_relaxed);
     ensure_capacity(idx + 1);
     arr_.index(idx) = std::move(value);
+    // Publish in reservation order: slot idx becomes visible through
+    // size() only once every earlier slot already is, so readers below
+    // size() always see completed writes (release pairs with the acquire
+    // in size()).
+    std::size_t expected = idx;
+    plat::Backoff backoff(4);
+    while (!size_->compare_exchange_weak(expected, idx + 1,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      expected = idx;
+      backoff.pause();
+    }
     return idx;
   }
 
@@ -98,6 +112,10 @@ class DistVector {
   }
 
   RCUArray<T, Policy> arr_;
+  /// Next index to hand out; may run ahead of `size_` while writes are in
+  /// flight.
+  plat::CacheAligned<std::atomic<std::size_t>> reserved_{std::size_t{0}};
+  /// Published length: every slot below it is fully written.
   plat::CacheAligned<std::atomic<std::size_t>> size_{std::size_t{0}};
   std::mutex grow_mu_;
   std::size_t max_growth_blocks_;

@@ -12,6 +12,7 @@
 
 #include "core/snapshot.hpp"
 #include "platform/align.hpp"
+#include "platform/atomics.hpp"
 #include "reclaim/ebr.hpp"
 #include "reclaim/qsbr.hpp"
 #include "runtime/cluster.hpp"
@@ -19,6 +20,7 @@
 #include "runtime/this_task.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
+#include "testing/sched_point.hpp"
 
 namespace rcua {
 
@@ -121,8 +123,26 @@ class RCUArray {
   }
 
   /// Convenience value read / write (the paper's "update" is the write).
-  T read(std::size_t i) { return index_rw(i, false); }
-  void write(std::size_t i, T value) { index_rw(i, true) = std::move(value); }
+  /// For machine-word elements these are relaxed atomics, so concurrent
+  /// read/write mixes on the same index are defined (§III-C contract);
+  /// larger element types fall back to plain accesses and inherit the
+  /// single-writer-per-index discipline those imply.
+  T read(std::size_t i) {
+    T& slot = index_rw(i, false);
+    if constexpr (plat::relaxed_capable_v<T>) {
+      return plat::relaxed_load(slot);
+    } else {
+      return slot;
+    }
+  }
+  void write(std::size_t i, T value) {
+    T& slot = index_rw(i, true);
+    if constexpr (plat::relaxed_capable_v<T>) {
+      plat::relaxed_store(slot, std::move(value));
+    } else {
+      slot = std::move(value);
+    }
+  }
 
   // -- Resizing (Algorithm 3, Resize) ----------------------------------
 
@@ -155,15 +175,20 @@ class RCUArray {
       Snapshot<T>* old =
           p.global_snapshot.load(std::memory_order_relaxed);
       Snapshot<T>* fresh = Snapshot<T>::clone_append(*old, new_blocks);
+      RCUA_SCHED_POINT("rcua.resize.publish");
       if constexpr (Policy::is_qsbr) {
         // Handle RCU directly with QSBR (lines 21-25).
         p.global_snapshot.store(fresh, std::memory_order_release);
+        RCUA_SCHED_POINT("rcua.resize.published");
         qsbr_->defer_delete(old);
       } else {
         // RCU_Write (Algorithm 1 lines 1-8); the clone/λ already ran.
         p.global_snapshot.store(fresh, std::memory_order_release);
+        RCUA_SCHED_POINT("rcua.resize.published");
         const auto epoch = p.ebr.advance_epoch();
+        RCUA_SCHED_POINT("rcua.resize.epoch_bumped");
         p.ebr.wait_for_readers(epoch);
+        RCUA_SCHED_POINT("rcua.resize.retire_spine");
         delete old;
       }
       p.next_locale_id = final_loc;  // line 28
@@ -197,17 +222,22 @@ class RCUArray {
       PerLocale& p = priv_at(l);
       Snapshot<T>* old = p.global_snapshot.load(std::memory_order_relaxed);
       Snapshot<T>* fresh = Snapshot<T>::clone_truncate(*old, keep);
+      RCUA_SCHED_POINT("rcua.resize.publish");
       p.global_snapshot.store(fresh, std::memory_order_release);
+      RCUA_SCHED_POINT("rcua.resize.published");
       if constexpr (Policy::is_qsbr) {
         qsbr_->defer_delete(old);
       } else {
         const auto epoch = p.ebr.advance_epoch();
+        RCUA_SCHED_POINT("rcua.resize.epoch_bumped");
         p.ebr.wait_for_readers(epoch);
+        RCUA_SCHED_POINT("rcua.resize.retire_spine");
         delete old;
       }
     });
     // Every locale has swapped; no snapshot reaches the dropped blocks.
     for (Block<T>* b : dropped) {
+      RCUA_SCHED_POINT("rcua.resize.recycle_block");
       cluster_.locale(b->owner()).note_free(b->capacity() * sizeof(T));
       sim::charge(m.alloc_block_ns / 2);
       if constexpr (Policy::is_qsbr) {
@@ -406,6 +436,7 @@ class RCUArray {
     const std::uint32_t here = cluster_.here();
 
     auto helper = [&](Snapshot<T>* s) -> T& {  // nested proc Helper
+      RCUA_SCHED_POINT("rcua.index.deref_spine");
       assert(bidx < s->num_blocks() && "index beyond current capacity");
       Block<T>* b = s->block(bidx);
       cluster_.comm().record_access(here, b->owner(), is_write);

@@ -9,6 +9,7 @@
 #include "core/block.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
+#include "testing/sched_point.hpp"
 
 namespace rcua {
 
@@ -49,6 +50,7 @@ class Snapshot {
     s->blocks_.insert(s->blocks_.end(), new_blocks.begin(), new_blocks.end());
     sim::charge(sim::CostModel::get().spine_copy_ns_per_block *
                 static_cast<double>(s->blocks_.size()));
+    RCUA_SCHED_POINT("snapshot.cloned");
     return s;
   }
 
@@ -64,6 +66,7 @@ class Snapshot {
                           static_cast<std::ptrdiff_t>(keep_blocks));
     sim::charge(sim::CostModel::get().spine_copy_ns_per_block *
                 static_cast<double>(keep_blocks));
+    RCUA_SCHED_POINT("snapshot.cloned");
     return s;
   }
 

@@ -28,6 +28,7 @@
 #include "core/rcu_array.hpp"
 #include "core/rcu_cell.hpp"
 #include "platform/align.hpp"
+#include "platform/atomics.hpp"
 #include "platform/backoff.hpp"
 #include "platform/barrier.hpp"
 #include "platform/rng.hpp"

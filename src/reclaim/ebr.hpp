@@ -10,6 +10,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/resource.hpp"
 #include "sim/task_clock.hpp"
+#include "testing/sched_point.hpp"
 
 namespace rcua::reclaim {
 
@@ -77,20 +78,26 @@ class BasicEbr {
       // Attempt to record our read (lines 10-12).
       const EpochT e = epoch_->load(std::memory_order_seq_cst);
       if (test_read_hook != nullptr) test_read_hook(*this, 0);
+      RCUA_SCHED_POINT("ebr.read.epoch_loaded");
       const std::size_t idx = static_cast<std::size_t>(e % 2);
       readers_[idx]->fetch_add(1, std::memory_order_seq_cst);
       charge_reader_rmw(idx);
       if (test_read_hook != nullptr) test_read_hook(*this, 1);
+      RCUA_SCHED_POINT("ebr.read.announced");
       // Did the snapshot possibly change before we recorded? (line 13)
-      if (epoch_->load(std::memory_order_seq_cst) == e) {
+      bool verified = epoch_->load(std::memory_order_seq_cst) == e;
+      if (RCUA_SCHED_MUT(ebr_skip_reverify)) verified = true;
+      if (verified) {
         reads_.value.fetch_add(1, std::memory_order_relaxed);
         if constexpr (std::is_void_v<decltype(fn())>) {
           std::forward<F>(fn)();
+          RCUA_SCHED_POINT("ebr.read.leave");
           readers_[idx]->fetch_sub(1, std::memory_order_seq_cst);
           charge_reader_rmw(idx);
           return;
         } else {
           decltype(auto) result = std::forward<F>(fn)();
+          RCUA_SCHED_POINT("ebr.read.leave");
           readers_[idx]->fetch_sub(1, std::memory_order_seq_cst);
           charge_reader_rmw(idx);
           return result;
@@ -110,10 +117,14 @@ class BasicEbr {
     explicit ReadGuard(BasicEbr& ebr) : ebr_(ebr) {
       for (;;) {
         const EpochT e = ebr_.epoch_->load(std::memory_order_seq_cst);
+        RCUA_SCHED_POINT("ebr.guard.epoch_loaded");
         idx_ = static_cast<std::size_t>(e % 2);
         ebr_.readers_[idx_]->fetch_add(1, std::memory_order_seq_cst);
         ebr_.charge_reader_rmw(idx_);
-        if (ebr_.epoch_->load(std::memory_order_seq_cst) == e) {
+        RCUA_SCHED_POINT("ebr.guard.announced");
+        bool verified = ebr_.epoch_->load(std::memory_order_seq_cst) == e;
+        if (RCUA_SCHED_MUT(ebr_skip_reverify)) verified = true;
+        if (verified) {
           ebr_.reads_.value.fetch_add(1, std::memory_order_relaxed);
           return;
         }
@@ -123,6 +134,7 @@ class BasicEbr {
       }
     }
     ~ReadGuard() {
+      RCUA_SCHED_POINT("ebr.guard.leave");
       ebr_.readers_[idx_]->fetch_sub(1, std::memory_order_seq_cst);
       ebr_.charge_reader_rmw(idx_);
     }
@@ -141,6 +153,7 @@ class BasicEbr {
   EpochT advance_epoch() noexcept {
     epoch_advances_.value.fetch_add(1, std::memory_order_relaxed);
     sim::charge(sim::CostModel::get().atomic_rmw_ns);
+    RCUA_SCHED_POINT("ebr.advance_epoch");
     return epoch_->fetch_add(1, std::memory_order_seq_cst);
   }
 
@@ -149,9 +162,14 @@ class BasicEbr {
   /// reachable from the pre-bump snapshot may be reclaimed.
   void wait_for_readers(EpochT old_epoch) noexcept {
     const std::size_t idx = static_cast<std::size_t>(old_epoch % 2);
-    plat::Backoff backoff(/*yield_threshold=*/4);
-    while (readers_[idx]->load(std::memory_order_seq_cst) != 0) {
-      backoff.pause();
+    if (RCUA_SCHED_MUT(ebr_skip_drain)) return;
+    if (!RCUA_SCHED_AWAIT("ebr.wait_for_readers", [&] {
+          return readers_[idx]->load(std::memory_order_seq_cst) == 0;
+        })) {
+      plat::Backoff backoff(/*yield_threshold=*/4);
+      while (readers_[idx]->load(std::memory_order_seq_cst) != 0) {
+        backoff.pause();
+      }
     }
     sim::charge(sim::CostModel::get().epoch_drain_ns);
   }

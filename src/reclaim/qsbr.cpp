@@ -5,6 +5,7 @@
 
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
+#include "testing/sched_point.hpp"
 
 namespace rcua::reclaim {
 
@@ -40,7 +41,9 @@ void Qsbr::defer(DeferNode* node) {
   const std::uint64_t e =
       state_epoch_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
   assert(e != 0 && "StateEpoch overflow is undefined behaviour (paper fn.5)");
+  RCUA_SCHED_POINT("qsbr.defer.epoch_bumped");
   slot.observed_epoch.store(e, std::memory_order_release);
+  RCUA_SCHED_POINT("qsbr.defer.observed");
   // Couple the memory with its safe epoch, LIFO (line 3; Lemma 4 keeps
   // the list sorted descending because e is monotone per thread).
   node->safe_epoch = e;
@@ -57,11 +60,15 @@ std::size_t Qsbr::checkpoint() {
   rt::DomainSlot& slot = participate();
   // Observe the current state (lines 4-5).
   const std::uint64_t e = current_epoch();
+  RCUA_SCHED_POINT("qsbr.checkpoint.epoch_read");
   slot.observed_epoch.store(e, std::memory_order_release);
+  RCUA_SCHED_POINT("qsbr.checkpoint.observed");
   // Find the smallest (safest) epoch over all participants (lines 6-8).
   std::uint64_t live_visited = 0;
-  const std::uint64_t min =
+  std::uint64_t min =
       registry_.min_observed_epoch_counted(slot_, e, live_visited);
+  if (RCUA_SCHED_MUT(qsbr_ignore_min)) min = e;
+  RCUA_SCHED_POINT("qsbr.checkpoint.scanned");
   // Split the DeferList where safe epoch <= min and reclaim (lines 9-13).
   DeferNode* chain;
   {

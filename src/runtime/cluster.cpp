@@ -5,6 +5,7 @@
 #include "runtime/this_task.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
+#include "testing/sched_point.hpp"
 
 namespace rcua::rt {
 
@@ -31,6 +32,19 @@ void Cluster::on(std::uint32_t locale, const std::function<void()>& fn) {
     return;
   }
   comm_.record_execute(here(), locale);
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  // Under the deterministic scheduler the TaskPool's worker threads are
+  // invisible scheduling units; run the body as a child scheduler task so
+  // interleavings with it are explored (and so the pool can't deadlock
+  // against paused tasks).
+  if (testing::sched_task_active()) {
+    testing::sched_fork_join(1, [&](std::size_t) {
+      LocaleScope scope(*this, locale);
+      fn();
+    });
+    return;
+  }
+#endif
   const bool simulated = sim::enabled();
   sim::TaskClock body_clock;
   TaskPool::Group group;
@@ -52,6 +66,17 @@ void Cluster::coforall_locales(const std::function<void(std::uint32_t)>& fn) {
   const std::uint32_t src = here();
   const bool simulated = sim::enabled();
   const auto& m = sim::CostModel::get();
+
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active()) {
+    for (std::uint32_t l = 0; l < n; ++l) comm_.record_execute(src, l);
+    testing::sched_fork_join(n, [&](std::size_t l) {
+      LocaleScope scope(*this, static_cast<std::uint32_t>(l));
+      fn(static_cast<std::uint32_t>(l));
+    });
+    return;
+  }
+#endif
 
   std::vector<sim::TaskClock> clocks(simulated ? n : 0);
   TaskPool::Group group;
@@ -85,6 +110,19 @@ void Cluster::coforall_tasks(
   const auto& m = sim::CostModel::get();
   const std::size_t total =
       static_cast<std::size_t>(n) * tasks_per_locale;
+
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active()) {
+    for (std::uint32_t l = 0; l < n; ++l) comm_.record_execute(src, l);
+    testing::sched_fork_join(total, [&](std::size_t slot) {
+      const auto l = static_cast<std::uint32_t>(slot / tasks_per_locale);
+      const auto t = static_cast<std::uint32_t>(slot % tasks_per_locale);
+      LocaleScope scope(*this, l);
+      fn(l, t);
+    });
+    return;
+  }
+#endif
 
   std::vector<sim::TaskClock> clocks(simulated ? total : 0);
   TaskPool::Group group;

@@ -24,11 +24,30 @@ void GlobalLock::charge_acquire() {
 
 void GlobalLock::lock() {
   charge_acquire();
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active()) {
+    testing::sched_await("global_lock.acquire", [this] {
+      return !sched_gate_.load(std::memory_order_relaxed);
+    });
+    sched_gate_.store(true, std::memory_order_relaxed);
+  }
+#endif
   mu_.lock();
 }
 
 bool GlobalLock::try_lock() {
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active() &&
+      sched_gate_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+#endif
   if (!mu_.try_lock()) return false;
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active()) {
+    sched_gate_.store(true, std::memory_order_relaxed);
+  }
+#endif
   charge_acquire();
   return true;
 }
@@ -38,6 +57,11 @@ void GlobalLock::unlock() {
   // start after it.
   if (sim::enabled()) word_.extend_until(sim::now_v());
   mu_.unlock();
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active()) {
+    sched_gate_.store(false, std::memory_order_relaxed);
+  }
+#endif
 }
 
 }  // namespace rcua::rt

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "sim/resource.hpp"
+#include "testing/sched_point.hpp"
 
 namespace rcua::rt {
 
@@ -49,6 +50,14 @@ class GlobalLock {
   sim::VirtualResource word_;
   std::atomic<std::uint64_t> acquisitions_{0};
   std::atomic<std::uint64_t> remote_acquisitions_{0};
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  /// Scheduler gate: under the deterministic scheduler a task may hold
+  /// the lock across schedule points, so contenders must wait through the
+  /// scheduler (a blocked pthread mutex would wedge the one-runnable-task
+  /// baton). The gate serializes scheduled tasks before they ever touch
+  /// mu_, which therefore stays uncontended among them.
+  std::atomic<bool> sched_gate_{false};
+#endif
 };
 
 }  // namespace rcua::rt

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "testing/sched_point.hpp"
+
 namespace rcua::rt {
 
 PrivatizationRegistry::PrivatizationRegistry(std::uint32_t num_locales,
@@ -36,6 +38,7 @@ int PrivatizationRegistry::create() {
 
 void PrivatizationRegistry::set(int pid, std::uint32_t locale,
                                 void* instance) noexcept {
+  RCUA_SCHED_POINT("priv.set");
   slots_[slot_index(pid, locale)].store(instance, std::memory_order_release);
 }
 

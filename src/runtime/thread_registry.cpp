@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "testing/sched_point.hpp"
+
 namespace rcua::rt {
 
 namespace {
@@ -163,6 +165,7 @@ std::uint64_t ThreadRegistry::min_observed_epoch_counted(
 
 void ThreadRegistry::park_current_thread() {
   ThreadRecord& rec = local_record();
+  RCUA_SCHED_POINT("registry.park.begin");
   for (std::size_t i = 0; i < ThreadRecord::kMaxDomains; ++i) {
     DomainSlot& slot = rec.slots[i];
     if (!slot.active.load(std::memory_order_relaxed)) continue;
@@ -179,6 +182,7 @@ void ThreadRegistry::park_current_thread() {
     }
     reclaim::DeferList::reclaim_chain(chain);
   }
+  RCUA_SCHED_POINT("registry.park.final");
   rec.parked.store(true, std::memory_order_release);
 }
 
@@ -193,6 +197,7 @@ void ThreadRegistry::unpark_current_thread() {
     if (dom == nullptr) continue;
     slot.observed_epoch.store(dom->current_epoch(), std::memory_order_release);
   }
+  RCUA_SCHED_POINT("registry.unpark");
   rec.parked.store(false, std::memory_order_release);
 }
 

@@ -1,0 +1,93 @@
+#pragma once
+
+/// Cooperative schedule-exploration hooks (see testing/scheduler.hpp and
+/// TESTING.md).
+///
+/// Protocol-critical code marks its interleaving-sensitive steps with
+/// `RCUA_SCHED_POINT("site")` and makes unbounded spin-waits
+/// scheduler-aware with `RCUA_SCHED_AWAIT("site", predicate)`. When the
+/// library is built without RCUA_SCHED_TEST — the default for release,
+/// bench and the tier-1/stress suites — every macro expands to a constant
+/// and the hooks vanish entirely: no function call, no TLS lookup, no
+/// extra branch. When built with RCUA_SCHED_TEST=1 (the `rcua_sched`
+/// library variant the `sched` test tier links against), the hooks hand
+/// control to the deterministic scheduler, and still reduce to one
+/// thread-local load plus a predicted branch on threads the scheduler
+/// does not own.
+
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+
+#include <cstddef>
+#include <functional>
+
+namespace rcua::testing {
+
+/// True iff the calling thread is a logical task owned by a running
+/// deterministic scheduler.
+[[nodiscard]] bool sched_task_active() noexcept;
+
+/// Yield point: hands control to the scheduler, which picks the next
+/// logical task to run (possibly this one again). No-op when the calling
+/// thread is not a scheduled task.
+void sched_point(const char* site) noexcept;
+
+/// Blocks the calling logical task until `pred()` holds. The scheduler
+/// re-evaluates the predicate (which must be side-effect free) when
+/// choosing the next task to run; between the deciding evaluation and the
+/// task's resumption no other task executes, so the condition still holds
+/// on return. No-op (returns immediately) when the calling thread is not
+/// a scheduled task — use RCUA_SCHED_AWAIT to fall back to a spin loop.
+void sched_await(const char* site, std::function<bool()> pred);
+
+/// Runs `body(0..n-1)` as n child tasks of the current logical task and
+/// blocks until all of them complete — Cluster::coforall under the
+/// scheduler. Children are full scheduling units: their steps interleave
+/// with every other task's.
+void sched_fork_join(std::size_t n,
+                     const std::function<void(std::size_t)>& body);
+
+/// Reports an invariant violation to the running scheduler (records the
+/// message and fails the current schedule). Safe to call from scheduled
+/// tasks only.
+void sched_violation(const char* format_message);
+
+/// Deliberately broken protocol variants. The harness's mutation checks
+/// flip one of these and assert that exploration *finds* a violating
+/// schedule — proving the harness has teeth, and documenting exactly
+/// which protocol line prevents which bug.
+struct Mutations {
+  /// EBR: skip the read-side epoch re-verification (Algorithm 1 line 13).
+  bool ebr_skip_reverify = false;
+  /// EBR: reclaim without draining the old-parity reader counter
+  /// (Algorithm 1 lines 6-7).
+  bool ebr_skip_drain = false;
+  /// QSBR: checkpoint reclaims up to the *current* epoch instead of the
+  /// minimum observed epoch over all participants (Algorithm 2 lines
+  /// 6-8).
+  bool qsbr_ignore_min = false;
+};
+[[nodiscard]] Mutations& mutations() noexcept;
+
+}  // namespace rcua::testing
+
+#define RCUA_SCHED_POINT(site) ::rcua::testing::sched_point(site)
+
+/// Evaluates to true (after blocking until the predicate holds) when an
+/// active scheduler handled the wait; false when the caller must fall
+/// back to its spin loop.
+#define RCUA_SCHED_AWAIT(site, ...)                              \
+  (::rcua::testing::sched_task_active()                          \
+       ? (::rcua::testing::sched_await(site, __VA_ARGS__), true) \
+       : false)
+
+/// Reads a mutation flag; constant false without RCUA_SCHED_TEST, so the
+/// broken variant is compiled out of release code entirely.
+#define RCUA_SCHED_MUT(field) (::rcua::testing::mutations().field)
+
+#else  // !RCUA_SCHED_TEST
+
+#define RCUA_SCHED_POINT(site) ((void)0)
+#define RCUA_SCHED_AWAIT(site, ...) false
+#define RCUA_SCHED_MUT(field) false
+
+#endif  // RCUA_SCHED_TEST

@@ -313,10 +313,11 @@ TEST(DistVector, CrossThreadIndexPublicationRegression) {
     while (!stop.load(std::memory_order_relaxed)) {
       const std::size_t n = vec.size();
       if (n == 0) continue;
-      // Read the most recently published slot; may be mid-write (0) but
-      // must never crash or return garbage.
+      // Read the most recently published slot. size() only covers fully
+      // written slots (in-order release publication), so the value must
+      // always be a completed producer write — never 0, never torn.
       const std::uint64_t v = vec[n - 1];
-      if (v != 0 && (v < 1 || v > 4000)) wrong.fetch_add(1);
+      if (v < 1 || v > 4000) wrong.fetch_add(1);
     }
   });
   std::vector<std::thread> producers;
