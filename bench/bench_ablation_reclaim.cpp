@@ -15,10 +15,10 @@ int main() {
       "Ablation: protection schemes (random update indexing)",
       "(not a paper figure) same workload as Fig 2a across all five "
       "protection schemes",
-      "expected: QSBR ~ unsynchronized > EBR > hazard pointers >> "
-      "rwlock > global lock");
+      "expected: QSBR ~ unsynchronized > striped EBR >> legacy EBR ~ "
+      "hazard pointers >> rwlock > global lock");
   run_indexing_figure<ChapelArrayImpl, QsbrArrayImpl, EbrArrayImpl,
-                      HazardArrayImpl, RwlockArrayImpl, SyncArrayImpl>(
-      p, Pattern::kRandom);
+                      LegacyEbrArrayImpl, HazardArrayImpl, RwlockArrayImpl,
+                      SyncArrayImpl>(p, Pattern::kRandom);
   return 0;
 }

@@ -105,6 +105,15 @@ struct EbrArrayImpl {
   }
 };
 
+struct LegacyEbrArrayImpl {
+  static constexpr const char* kName = "EBRArray-legacy";
+  using type = RCUArray<std::uint64_t, LegacyEbrPolicy>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, typename type::Options{bs, nullptr});
+  }
+};
+
 struct QsbrArrayImpl {
   static constexpr const char* kName = "QSBRArray";
   using type = RCUArray<std::uint64_t, QsbrPolicy>;
@@ -181,6 +190,30 @@ double run_indexing(const Params& p, std::uint64_t num_locales,
           }
         }
       });
+
+  // Machine-readable reclaimer counters for the bench-json pipeline
+  // (scripts/run_benchmarks.py). reads/retries are nonzero only in
+  // -DRCUA_STATS=ON builds; epoch_advances is always live.
+  constexpr bool kHasEbrStats = requires {
+    requires !Impl::type::uses_qsbr;
+    arr->ebr_stats_at(0u);
+  };
+  if constexpr (kHasEbrStats) {
+    std::uint64_t reads = 0, retries = 0, advances = 0;
+    for (std::uint64_t l = 0; l < num_locales; ++l) {
+      const auto s = arr->ebr_stats_at(static_cast<std::uint32_t>(l));
+      reads += s.reads;
+      retries += s.read_retries;
+      advances += s.epoch_advances;
+    }
+    std::printf(
+        "bench_stat impl=%s locales=%llu reads=%llu retries=%llu "
+        "epoch_advances=%llu\n",
+        Impl::kName, static_cast<unsigned long long>(num_locales),
+        static_cast<unsigned long long>(reads),
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(advances));
+  }
 
   // QSBR best case in the paper uses no checkpoints; drop whatever the
   // construction-time resizes deferred before tearing down.

@@ -6,10 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "platform/spinlock.hpp"
+#include "platform/topology.hpp"
 #include "rcua.hpp"
 
 namespace {
+
+int max_bench_threads() {
+  return std::max(2, 2 * static_cast<int>(rcua::plat::hardware_threads()));
+}
 
 void BM_EbrReadSide(benchmark::State& state) {
   rcua::reclaim::Ebr ebr;
@@ -19,6 +26,28 @@ void BM_EbrReadSide(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EbrReadSide);
+
+// The striped-vs-legacy A/B this PR is about, on one SHARED reclaimer
+// instance so the reader RMW contention is real. At 1 thread the two
+// layouts should be near-identical (both are one uncontended RMW pair);
+// as threads grow the legacy layout serializes on its single counter
+// line while the striped bank spreads announcements across slots.
+rcua::reclaim::Ebr g_shared_striped_ebr;
+rcua::reclaim::LegacyEbr g_shared_legacy_ebr;
+
+void BM_EbrReadSharedStriped(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_shared_striped_ebr.read([] { return 0; }));
+  }
+}
+BENCHMARK(BM_EbrReadSharedStriped)->ThreadRange(1, max_bench_threads());
+
+void BM_EbrReadSharedLegacy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_shared_legacy_ebr.read([] { return 0; }));
+  }
+}
+BENCHMARK(BM_EbrReadSharedLegacy)->ThreadRange(1, max_bench_threads());
 
 void BM_EbrSynchronize(benchmark::State& state) {
   rcua::reclaim::Ebr ebr;

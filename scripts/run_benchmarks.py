@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and emit one reproducible BENCH_<timestamp>.json.
+
+Each bench binary prints an aligned table for humans, a `csv:` block for
+tools, and (for the EBR-policy arrays) machine-readable `bench_stat`
+lines carrying the reclaimer counters (reads / retries / epoch_advances;
+the read-side counters are live only in -DRCUA_STATS=ON builds). This
+script runs a configurable set of binaries, parses all three, adds the
+google-benchmark micro suite in native JSON, and writes everything plus
+run metadata (git revision, host, RCUA_* environment) to one JSON file.
+
+Usage:
+    python3 scripts/run_benchmarks.py --build-dir build [--out DIR]
+        [--label NAME] [--smoke] [--benches a,b,c]
+
+`--smoke` shrinks the workload via RCUA_* env so the whole suite finishes
+in well under a minute — the CI artifact mode. The `bench-json` CMake
+target invokes exactly that.
+"""
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+
+# Default suite: the stripes ablation (this PR's headline), the reclaim
+# shoot-out (striped vs legacy vs every baseline), and one Figure-2 cell.
+DEFAULT_BENCHES = [
+    "bench_ablation_ebr_stripes",
+    "bench_ablation_reclaim",
+    "bench_fig2a_random_small",
+]
+MICRO_BENCH = "bench_micro_primitives"
+
+SMOKE_ENV = {
+    "RCUA_LOCALES": "2,4",
+    "RCUA_TASKS_PER_LOCALE": "4",
+    "RCUA_OPS_PER_TASK": "256",
+    "RCUA_ARRAY_ELEMS": str(1 << 14),
+    "RCUA_THREADS": "1,2,4,8",
+}
+
+BENCH_STAT_RE = re.compile(
+    r"^bench_stat\s+impl=(?P<impl>\S+)\s+locales=(?P<locales>\d+)\s+"
+    r"reads=(?P<reads>\d+)\s+retries=(?P<retries>\d+)\s+"
+    r"epoch_advances=(?P<epoch_advances>\d+)\s*$"
+)
+
+
+def parse_bench_output(text):
+    """Extracts csv blocks and bench_stat lines from one binary's stdout."""
+    lines = text.splitlines()
+    tables = []
+    stats = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        m = BENCH_STAT_RE.match(line)
+        if m:
+            d = m.groupdict()
+            stats.append(
+                {
+                    "impl": d["impl"],
+                    "locales": int(d["locales"]),
+                    "reads": int(d["reads"]),
+                    "retries": int(d["retries"]),
+                    "epoch_advances": int(d["epoch_advances"]),
+                }
+            )
+        if line.strip() == "csv:" and i + 1 < len(lines):
+            header = lines[i + 1].split(",")
+            rows = []
+            j = i + 2
+            while j < len(lines) and "," in lines[j]:
+                rows.append(lines[j].split(","))
+                j += 1
+            tables.append({"header": header, "rows": rows})
+            i = j
+            continue
+        i += 1
+    return tables, stats
+
+
+def run_binary(path, env, extra_args=None, timeout=1800):
+    proc = subprocess.run(
+        [path] + (extra_args or []),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def git_rev(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default=".", help="directory for the JSON file")
+    ap.add_argument("--label", default="", help="free-form tag stored in meta")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny workloads (CI artifact mode)")
+    ap.add_argument("--benches", default="",
+                    help="comma list overriding the default bench set")
+    ap.add_argument("--skip-micro", action="store_true",
+                    help="skip the google-benchmark micro suite")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bench_dir = os.path.join(args.build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        sys.exit(f"error: {bench_dir} not found — build the project first")
+
+    env = dict(os.environ)
+    if args.smoke:
+        for k, v in SMOKE_ENV.items():
+            env.setdefault(k, v)
+
+    benches = [b for b in args.benches.split(",") if b] or DEFAULT_BENCHES
+
+    results = {}
+    for name in benches:
+        path = os.path.join(bench_dir, name)
+        if not os.path.isfile(path):
+            print(f"[bench-json] SKIP {name} (binary not built)")
+            results[name] = {"error": "binary not found"}
+            continue
+        print(f"[bench-json] running {name} ...")
+        started = time.time()
+        code, out, err = run_binary(path, env)
+        tables, stats = parse_bench_output(out)
+        results[name] = {
+            "returncode": code,
+            "elapsed_s": round(time.time() - started, 3),
+            "tables": tables,
+            "bench_stats": stats,
+        }
+        if code != 0:
+            results[name]["stderr"] = err[-4000:]
+            print(f"[bench-json] {name} FAILED (rc={code})", file=sys.stderr)
+
+    micro = None
+    if not args.skip_micro:
+        micro_path = os.path.join(bench_dir, MICRO_BENCH)
+        if os.path.isfile(micro_path):
+            print(f"[bench-json] running {MICRO_BENCH} ...")
+            micro_args = ["--benchmark_format=json"]
+            if args.smoke:
+                micro_args.append("--benchmark_min_time=0.01s")
+            code, out, err = run_binary(micro_path, env, micro_args)
+            try:
+                micro = json.loads(out)
+            except json.JSONDecodeError:
+                micro = {"error": "unparseable output", "returncode": code}
+
+    # Read-side counters are only live in -DRCUA_STATS=ON builds; record
+    # whether this run's numbers include them.
+    stats_live = any(
+        s["reads"] > 0
+        for r in results.values()
+        for s in r.get("bench_stats", [])
+    )
+
+    doc = {
+        "meta": {
+            "timestamp": time.strftime("%Y%m%dT%H%M%S"),
+            "label": args.label,
+            "smoke": args.smoke,
+            "git_rev": git_rev(repo_root),
+            "host": platform.node(),
+            "machine": platform.machine(),
+            "system": platform.platform(),
+            "cpus": os.cpu_count(),
+            "read_stats_live": stats_live,
+            "env": {k: v for k, v in env.items() if k.startswith("RCUA_")},
+        },
+        "results": results,
+        "micro": micro,
+    }
+
+    os.makedirs(args.out, exist_ok=True)
+    out_path = os.path.join(
+        args.out, f"BENCH_{doc['meta']['timestamp']}.json"
+    )
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"[bench-json] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

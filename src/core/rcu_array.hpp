@@ -24,14 +24,26 @@
 
 namespace rcua {
 
-/// Compile-time reclamation policy — the paper's `isQSBR` param.
+/// Compile-time reclamation policy — the paper's `isQSBR` param, plus
+/// the concrete EBR reclaimer type so the reader-bank layout (striped vs
+/// the paper's legacy 2-counter pair) can be A/B'd at the array level.
 struct EbrPolicy {
   static constexpr bool is_qsbr = false;
   static constexpr const char* name = "EBR";
+  using Reclaimer = reclaim::Ebr;
+};
+/// EBR with the paper's original collective EpochReaders[2] layout
+/// (all-seq_cst, one pair per locale) — the ablation baseline.
+struct LegacyEbrPolicy {
+  static constexpr bool is_qsbr = false;
+  static constexpr const char* name = "EBR-legacy";
+  using Reclaimer = reclaim::LegacyEbr;
 };
 struct QsbrPolicy {
   static constexpr bool is_qsbr = true;
   static constexpr const char* name = "QSBR";
+  // Unused under QSBR; declared so PerLocale has a uniform shape.
+  using Reclaimer = reclaim::Ebr;
 };
 
 /// RCUArray: a parallel-safe distributed resizable array (the paper's
@@ -269,7 +281,8 @@ class RCUArray {
       if constexpr (Policy::is_qsbr) {
         arr.qsbr_->ensure_participant();
       } else {
-        guard_ = std::make_unique<typename reclaim::Ebr::ReadGuard>(p.ebr);
+        guard_ = std::make_unique<typename Policy::Reclaimer::ReadGuard>(
+            p.ebr);
       }
       snapshot_ = p.global_snapshot.load(std::memory_order_acquire);
       sim::charge(sim::CostModel::get().atomic_load_ns);
@@ -295,7 +308,7 @@ class RCUArray {
    private:
     RCUArray& arr_;
     Snapshot<T>* snapshot_;
-    std::unique_ptr<typename reclaim::Ebr::ReadGuard> guard_;
+    std::unique_ptr<typename Policy::Reclaimer::ReadGuard> guard_;
   };
 
   /// Pins the calling locale's current snapshot (see View).
@@ -403,7 +416,9 @@ class RCUArray {
   [[nodiscard]] rt::GlobalLock& write_lock() noexcept { return write_lock_; }
 
   /// Read-side stats of the calling locale's EBR instance (EBR policy).
-  [[nodiscard]] typename reclaim::Ebr::Stats ebr_stats_at(
+  /// `reads`/`read_retries` require a -DRCUA_STATS=ON build (zero
+  /// otherwise); `epoch_advances` is always live.
+  [[nodiscard]] typename Policy::Reclaimer::Stats ebr_stats_at(
       std::uint32_t locale) const {
     return priv_at(locale).ebr.stats();
   }
@@ -412,7 +427,10 @@ class RCUArray {
   /// The privatized per-locale copy (Listing 1's RCUArrayMetaData).
   struct alignas(plat::kCacheLine) PerLocale {
     std::atomic<Snapshot<T>*> global_snapshot{nullptr};
-    reclaim::Ebr ebr;
+    // Under QSBR the reclaimer is never exercised; pin it to one stripe
+    // so the (per-locale) instance does not allocate a full bank.
+    typename Policy::Reclaimer ebr{0, Policy::is_qsbr ? std::size_t{1}
+                                                      : std::size_t{0}};
     std::uint32_t next_locale_id = 0;
   };
 

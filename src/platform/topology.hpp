@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace rcua::plat {
@@ -12,5 +13,12 @@ std::uint32_t hardware_threads() noexcept;
 /// i.e. desired exceeds the hardware thread count. Spin loops consult this
 /// to decide how aggressively to yield.
 bool oversubscribed(std::uint32_t desired) noexcept;
+
+/// TLS-free stripe selector for per-core counter banks: hashes the calling
+/// thread's identity (one TCB register read plus a mix, no thread_local
+/// slot and no syscall) into [0, num_stripes). A thread therefore always
+/// lands on the same stripe, which is what keeps the stripe's cache line
+/// resident in that core's cache. `num_stripes` must be a power of two.
+std::size_t stripe_index(std::size_t num_stripes) noexcept;
 
 }  // namespace rcua::plat

@@ -26,6 +26,12 @@ namespace rcua::testing {
 /// deterministic scheduler.
 [[nodiscard]] bool sched_task_active() noexcept;
 
+/// Creation-order id of the calling logical task; 0 when the calling
+/// thread is not a scheduled task. Deterministic across replays — used
+/// by the striped EBR to derive its stripe choice from the logical task
+/// instead of the (run-varying) OS thread identity.
+[[nodiscard]] std::size_t sched_task_id() noexcept;
+
 /// Yield point: hands control to the scheduler, which picks the next
 /// logical task to run (possibly this one again). No-op when the calling
 /// thread is not a scheduled task.
@@ -61,6 +67,11 @@ struct Mutations {
   /// EBR: reclaim without draining the old-parity reader counter
   /// (Algorithm 1 lines 6-7).
   bool ebr_skip_drain = false;
+  /// EBR (striped layout): drop the writer-side seq_cst fence after the
+  /// epoch bump. Emulated under the SC scheduler as the StoreLoad hoist
+  /// the fence forbids: the drain's first column scan may be satisfied by
+  /// values sampled before the bump became visible.
+  bool ebr_skip_fence = false;
   /// QSBR: checkpoint reclaims up to the *current* epoch instead of the
   /// minimum observed epoch over all participants (Algorithm 2 lines
   /// 6-8).

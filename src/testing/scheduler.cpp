@@ -281,6 +281,10 @@ void Scheduler::run(ScheduleStrategy& strategy) {
 
 bool sched_task_active() noexcept { return tl_current_task != nullptr; }
 
+std::size_t sched_task_id() noexcept {
+  return tl_current_task != nullptr ? tl_current_task->id : 0;
+}
+
 void sched_point(const char* site) noexcept {
   Task* t = tl_current_task;
   if (t == nullptr) return;

@@ -111,10 +111,28 @@ TEST_F(ChargingTest, EbrAddsTwoReaderTransfersPerOp) {
     sim::ClockScope scope(clock);
     arr.read(0);
   }
-  // rcua_index + inc transfer + snapshot load... the EBR read path:
-  // 2 reader RMWs at rmw_transfer(500), snapshot atomic load is inside
-  // the lambda (2), index overhead 50, cached element (first in scope:
-  // miss 100 + spine 800).
+  // The striped EBR read path: the announce RMW pulls the stripe line
+  // (rmw_transfer 500); the retract hits the line this task now owns
+  // (atomic_rmw 20). Plus snapshot atomic load inside the lambda (2),
+  // index overhead 50, cached element (first in scope: miss 100 + spine
+  // 800).
+  EXPECT_EQ(clock.vtime_ns, 50 + (500 + 20) + 2 + 100 + 800);
+}
+
+TEST_F(ChargingTest, LegacyEbrAddsTwoReaderTransfersPerOp) {
+  rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 1});
+  RCUArray<std::uint64_t, rcua::LegacyEbrPolicy> arr(cluster, 64,
+                                                     {.block_size = 64});
+  arr.read(0);  // warm the block (no clock -> free)
+  sim::TaskClock clock;
+  {
+    sim::ClockScope scope(clock);
+    arr.read(0);
+  }
+  // The paper's two-counter layout models the shared EpochReaders line
+  // as always-contended: 2 reader RMWs at rmw_transfer(500) each, plus
+  // snapshot load (2), index overhead 50, first-in-scope miss (100) and
+  // spine surcharge (800).
   EXPECT_EQ(clock.vtime_ns, 50 + 2 * 500 + 2 + 100 + 800);
 }
 

@@ -52,7 +52,9 @@ TEST(Ebr, CountersBalanceAfterReads) {
   for (int i = 0; i < 100; ++i) ebr.read([] { return 0; });
   EXPECT_EQ(ebr.readers_at(0), 0u);
   EXPECT_EQ(ebr.readers_at(1), 0u);
-  EXPECT_EQ(ebr.stats().reads, 100u);
+  if constexpr (reclaim::Ebr::kStatsEnabled) {
+    EXPECT_EQ(ebr.stats().reads, 100u);
+  }
 }
 
 TEST(Ebr, GuardRecordsOnCurrentParity) {
@@ -223,7 +225,25 @@ TEST(EbrSim, ReaderRmwChargesAreModeled) {
     rcua::sim::ClockScope scope(clock);
     ebr.read([] { return 0; });
   }
-  // The EpochReaders line is modeled as always-contended: the increment
-  // and the balancing decrement each cost one transfer.
+  // Striped layout: the announce pays one transfer to pull the stripe's
+  // line in (500); the balancing retract hits the line this task now
+  // owns, so it costs only the local RMW (5).
+  EXPECT_EQ(clock.vtime_ns, 505u);
+}
+
+TEST(EbrSim, LegacyLayoutChargesAlwaysContendedTransfers) {
+  rcua::sim::CostModelOverride save;
+  auto& m = rcua::sim::CostModel::mutable_instance();
+  m.rmw_transfer_ns = 500;
+  m.atomic_rmw_ns = 5;
+
+  reclaim::LegacyEbr ebr;
+  rcua::sim::TaskClock clock;
+  {
+    rcua::sim::ClockScope scope(clock);
+    ebr.read([] { return 0; });
+  }
+  // The single shared EpochReaders line is modeled as always-contended:
+  // the increment and the balancing decrement each cost one transfer.
   EXPECT_EQ(clock.vtime_ns, 1000u);
 }

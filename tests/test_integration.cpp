@@ -81,15 +81,33 @@ TEST(Shape, QsbrBeatsUnsynchronizedSequential) {
   EXPECT_LT(qsbr, 2.0 * chapel);
 }
 
-TEST(Shape, EbrIsASmallFractionOfQsbr) {
-  const double ebr = vtime_throughput<RCUArray<std::uint64_t, EbrPolicy>>(
-      4, 16, 512, false);
+TEST(Shape, LegacyEbrIsASmallFractionOfQsbr) {
+  const double ebr =
+      vtime_throughput<RCUArray<std::uint64_t, rcua::LegacyEbrPolicy>>(
+          4, 16, 512, false);
   const double qsbr = vtime_throughput<RCUArray<std::uint64_t, QsbrPolicy>>(
       4, 16, 512, false);
   // "EBRArray ... can offer as little as 2% of the read and update
   // performance"; at 16 tasks/locale the collapse must already be large.
+  // This is the paper's two-counter layout: every reader RMW transfers
+  // the one shared EpochReaders line.
   EXPECT_LT(ebr, 0.15 * qsbr);
   EXPECT_GT(ebr, 0.001 * qsbr);
+}
+
+TEST(Shape, StripedEbrClosesMostOfTheQsbrGap) {
+  const double striped = vtime_throughput<RCUArray<std::uint64_t, EbrPolicy>>(
+      4, 16, 512, false);
+  const double legacy =
+      vtime_throughput<RCUArray<std::uint64_t, rcua::LegacyEbrPolicy>>(
+          4, 16, 512, false);
+  const double qsbr = vtime_throughput<RCUArray<std::uint64_t, QsbrPolicy>>(
+      4, 16, 512, false);
+  // The striped bank removes the shared-line serialization: at 64 tasks
+  // the default EbrPolicy must now land within 2x of QSBR instead of the
+  // legacy collapse, and beat the two-counter layout by >=3x.
+  EXPECT_GT(striped, 0.5 * qsbr);
+  EXPECT_GT(striped, 3.0 * legacy);
 }
 
 TEST(Shape, SyncArrayDoesNotScale) {

@@ -28,13 +28,16 @@ using rcua::testing::ScopedMutation;
 using rcua::testing::Scheduler;
 
 /// Shared state of the reader/writer scenarios: a "current snapshot" index
-/// into an arena of freed-flags.
-template <typename EpochT>
+/// into an arena of freed-flags. The stripe count is pinned (not the
+/// host-dependent default) so the schedule tree — and every printed seed —
+/// replays identically on any machine.
+template <typename EpochT,
+          typename Layout = rcua::reclaim::StripedReaders>
 struct Arena {
-  explicit Arena(EpochT initial_epoch) : ebr(initial_epoch) {}
-  Arena() = default;
+  explicit Arena(EpochT initial_epoch = EpochT{0}, std::size_t stripes = 2)
+      : ebr(initial_epoch, stripes) {}
 
-  rcua::reclaim::BasicEbr<EpochT> ebr;
+  rcua::reclaim::BasicEbr<EpochT, Layout> ebr;
   std::atomic<std::size_t> current{0};
   std::atomic<bool> freed[8] = {};
 };
@@ -42,8 +45,8 @@ struct Arena {
 /// Reader: one read-side critical section that captures the current
 /// snapshot and later (one schedule point on) checks it was not reclaimed
 /// out from under it.
-template <typename EpochT>
-void reader_once(Arena<EpochT>& a) {
+template <typename ArenaT>
+void reader_once(ArenaT& a) {
   a.ebr.read([&] {
     const std::size_t s = a.current.load(std::memory_order_seq_cst);
     rcua::testing::sched_point("test.reader.deref");
@@ -56,13 +59,13 @@ void reader_once(Arena<EpochT>& a) {
 
 /// Writer: `rounds` RCU_Write cycles — publish snapshot r, bump the epoch,
 /// drain the old parity, reclaim the previous snapshot.
-template <typename EpochT>
-void writer_rounds(Arena<EpochT>& a, std::size_t rounds) {
+template <typename ArenaT>
+void writer_rounds(ArenaT& a, std::size_t rounds) {
   for (std::size_t r = 1; r <= rounds; ++r) {
     const std::size_t old = a.current.load(std::memory_order_seq_cst);
     rcua::testing::sched_point("test.writer.publish");
     a.current.store(r, std::memory_order_seq_cst);
-    const EpochT e = a.ebr.advance_epoch();
+    const auto e = a.ebr.advance_epoch();
     a.ebr.wait_for_readers(e);
     a.freed[old].store(true, std::memory_order_seq_cst);
   }
@@ -135,6 +138,70 @@ TEST(SchedEbr, MutationSkipDrainFound) {
       << "reclaiming without draining lines 6-7 must be caught";
 }
 
+TEST(SchedEbr, MutationSkipFenceFound) {
+  // Striped layout only: dropping the writer-side seq_cst fence after the
+  // epoch bump lets the drain's first column scan be satisfied by values
+  // read before the bump (StoreLoad hoist). Emulated under the SC
+  // scheduler by the pre-bump hoisted scan in advance_epoch. The failing
+  // schedule: the writer's hoisted scan sees an empty column, a reader
+  // then announces+verifies against the pre-bump epoch, round 1 skips its
+  // drain on the cached zero, and round 2 reclaims the snapshot the
+  // still-running reader captured.
+  ScopedMutation mut(&rcua::testing::mutations().ebr_skip_fence);
+
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kRandom;
+  opts.schedules = 10000;
+  const ExploreResult result =
+      rcua::testing::explore(opts, two_round_scenario);
+  ASSERT_TRUE(result.found)
+      << "dropping the post-bump fence must be caught";
+
+  // The printed seed replays the violating schedule deterministically.
+  ExploreOptions replay;
+  replay.mode = ExploreMode::kRandom;
+  replay.schedules = 1;
+  replay.base_seed = result.seed;
+  replay.quiet = true;
+  const ExploreResult again =
+      rcua::testing::explore(replay, two_round_scenario);
+  ASSERT_TRUE(again.found) << "seed " << result.seed << " did not replay";
+  EXPECT_EQ(again.message, result.message);
+}
+
+TEST(SchedEbr, MutationSkipFenceFoundByDfs) {
+  ScopedMutation mut(&rcua::testing::mutations().ebr_skip_fence);
+
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kDfs;
+  opts.schedules = 200000;
+  opts.preemption_bound = 3;
+  const ExploreResult result =
+      rcua::testing::explore(opts, two_round_scenario);
+  ASSERT_TRUE(result.found)
+      << "the fence bug needs ~2 preemptions; bounded DFS must reach it";
+}
+
+TEST(SchedEbr, SkipFenceIsVacuousOnLegacyLayout) {
+  // The fence is an obligation the *striped* layout introduced: the
+  // legacy all-seq_cst layout never elides the StoreLoad edge, so the
+  // same mutation must find nothing there.
+  ScopedMutation mut(&rcua::testing::mutations().ebr_skip_fence);
+
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kRandom;
+  opts.schedules = 2000;
+  opts.stop_on_violation = false;
+  const ExploreResult result =
+      rcua::testing::explore(opts, [](Scheduler& sched) {
+        auto a = std::make_shared<
+            Arena<std::uint64_t, rcua::reclaim::LegacyReaders>>();
+        sched.spawn("reader", [a] { reader_once(*a); });
+        sched.spawn("writer", [a] { writer_rounds(*a, 2); });
+      });
+  EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
+}
+
 TEST(SchedEbr, NegativeControlRandom) {
   // Unmutated protocol: no schedule of the same scenario may violate.
   ExploreOptions opts;
@@ -159,6 +226,25 @@ TEST(SchedEbr, NegativeControlDfsExhaustive) {
   EXPECT_TRUE(result.exhausted)
       << "expected to enumerate the full 3-preemption schedule tree, ran "
       << result.schedules_run;
+}
+
+TEST(SchedEbr, NegativeControlFourStripes) {
+  // The unmutated protocol stays safe when readers land on distinct
+  // stripes and the drain must sum the column across the bank.
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kRandom;
+  opts.schedules = 2000;
+  opts.stop_on_violation = false;
+  const ExploreResult result =
+      rcua::testing::explore(opts, [](Scheduler& sched) {
+        auto a = std::make_shared<Arena<std::uint64_t>>(std::uint64_t{0},
+                                                        std::size_t{4});
+        for (int r = 0; r < 3; ++r) {
+          sched.spawn("reader", [a] { reader_once(*a); });
+        }
+        sched.spawn("writer", [a] { writer_rounds(*a, 2); });
+      });
+  EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
 }
 
 // Lemma 2: epoch parity (and with it reader/writer pairing) survives
