@@ -13,9 +13,12 @@
 #include "core/snapshot.hpp"
 #include "platform/align.hpp"
 #include "platform/atomics.hpp"
+#include "platform/backoff.hpp"
 #include "reclaim/ebr.hpp"
 #include "reclaim/qsbr.hpp"
+#include "reclaim/stall_monitor.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/fault_plan.hpp"
 #include "runtime/global_lock.hpp"
 #include "runtime/this_task.hpp"
 #include "sim/cost_model.hpp"
@@ -77,6 +80,19 @@ class RCUArray {
     std::size_t block_size = 1024;
     /// QSBR domain; defaults to the process-wide one. Ignored under EBR.
     reclaim::Qsbr* qsbr = nullptr;
+    /// Deadline/backoff for the EBR spine drain in resize. The default
+    /// is env-configured and blocking (deadline 0) — the paper's
+    /// behaviour — unless RCUA_STALL_DEADLINE_NS is set. With a
+    /// deadline, a resize whose readers stall defers the old spine onto
+    /// a per-locale overflow retire list instead of blocking.
+    reclaim::StallPolicy stall_policy = reclaim::StallPolicy::from_env();
+    /// Watchdog receiving stall diagnostics and bounding overflow bytes
+    /// (nullptr = the process-wide StallMonitor::global()).
+    reclaim::StallMonitor* stall_monitor = nullptr;
+    /// Resize publish attempts that consult the fault plan; past this
+    /// many injected broadcast drops the plan is ignored, so resize_add
+    /// terminates under any plan.
+    std::uint32_t max_publish_attempts = 64;
   };
 
   static constexpr bool uses_qsbr = Policy::is_qsbr;
@@ -87,6 +103,11 @@ class RCUArray {
         block_size_(options.block_size),
         qsbr_(options.qsbr != nullptr ? options.qsbr
                                       : &reclaim::Qsbr::global()),
+        stall_policy_(options.stall_policy),
+        monitor_(options.stall_monitor != nullptr
+                     ? options.stall_monitor
+                     : &reclaim::StallMonitor::global()),
+        max_publish_attempts_(options.max_publish_attempts),
         write_lock_(cluster, /*owner_locale=*/0),
         pid_(cluster.privatization().create()) {
     if (block_size_ == 0) throw std::invalid_argument("block_size == 0");
@@ -105,6 +126,12 @@ class RCUArray {
         priv_at(0).global_snapshot.load(std::memory_order_acquire)->blocks();
     for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
       PerLocale* p = &priv_at(l);
+      // External quiescence means every deferred spine is freeable now.
+      const auto flushed = p->overflow.free_all();
+      if (flushed.objects != 0) {
+        cluster_.locale(l).note_free(flushed.bytes);
+        monitor_->note_flushed(flushed.bytes, flushed.objects);
+      }
       delete p->global_snapshot.load(std::memory_order_acquire);
       delete p;
     }
@@ -181,30 +208,53 @@ class RCUArray {
     }
     const std::uint32_t final_loc = loc;
 
-    // Update performed on each node (lines 18-28).
-    cluster_.coforall_locales([&](std::uint32_t l) {
-      PerLocale& p = priv_at(l);
-      Snapshot<T>* old =
-          p.global_snapshot.load(std::memory_order_relaxed);
-      Snapshot<T>* fresh = Snapshot<T>::clone_append(*old, new_blocks);
-      RCUA_SCHED_POINT("rcua.resize.publish");
-      if constexpr (Policy::is_qsbr) {
-        // Handle RCU directly with QSBR (lines 21-25).
-        p.global_snapshot.store(fresh, std::memory_order_release);
-        RCUA_SCHED_POINT("rcua.resize.published");
-        qsbr_->defer_delete(old);
-      } else {
-        // RCU_Write (Algorithm 1 lines 1-8); the clone/λ already ran.
-        p.global_snapshot.store(fresh, std::memory_order_release);
-        RCUA_SCHED_POINT("rcua.resize.published");
-        const auto epoch = p.ebr.advance_epoch();
-        RCUA_SCHED_POINT("rcua.resize.epoch_bumped");
-        p.ebr.wait_for_readers(epoch);
-        RCUA_SCHED_POINT("rcua.resize.retire_spine");
-        delete old;
+    // Update performed on each node (lines 18-28), retried against
+    // injected broadcast faults: a locale whose swap step the fault plan
+    // drops is re-broadcast with backoff until every locale has
+    // published. `done` makes the per-locale body idempotent across
+    // attempts, and after max_publish_attempts_ the plan is no longer
+    // consulted, so resize_add terminates under any plan.
+    std::vector<std::atomic<bool>> done(cluster_.num_locales());
+    std::uint32_t attempt = 0;
+    plat::Backoff publish_backoff;
+    for (;;) {
+      cluster_.coforall_locales([&](std::uint32_t l) {
+        if (done[l].load(std::memory_order_acquire)) return;
+        if (rt::FaultPlan* plan = cluster_.fault_plan();
+            plan != nullptr && attempt < max_publish_attempts_ &&
+            plan->fires(rt::FaultPlan::Action::kDropBroadcast, l)) {
+          RCUA_SCHED_POINT("rcua.resize.broadcast_dropped");
+          return;  // injected lost broadcast: this locale missed the swap
+        }
+        PerLocale& p = priv_at(l);
+        flush_overflow_at(l);  // opportunistic retry of deferred spines
+        Snapshot<T>* old =
+            p.global_snapshot.load(std::memory_order_relaxed);
+        Snapshot<T>* fresh = Snapshot<T>::clone_append(*old, new_blocks);
+        RCUA_SCHED_POINT("rcua.resize.publish");
+        if constexpr (Policy::is_qsbr) {
+          // Handle RCU directly with QSBR (lines 21-25).
+          p.global_snapshot.store(fresh, std::memory_order_release);
+          RCUA_SCHED_POINT("rcua.resize.published");
+          qsbr_->defer_delete(old);
+        } else {
+          // RCU_Write (Algorithm 1 lines 1-8); the clone/λ already ran.
+          p.global_snapshot.store(fresh, std::memory_order_release);
+          RCUA_SCHED_POINT("rcua.resize.published");
+          retire_spine_ebr(p, l, old);
+        }
+        p.next_locale_id = final_loc;  // line 28
+        done[l].store(true, std::memory_order_release);
+      });
+      bool all_published = true;
+      for (auto& d : done) {
+        all_published = all_published && d.load(std::memory_order_acquire);
       }
-      p.next_locale_id = final_loc;  // line 28
-    });
+      if (all_published) break;
+      ++attempt;
+      broadcast_retries_.fetch_add(1, std::memory_order_relaxed);
+      publish_backoff.pause();
+    }
     resizes_.fetch_add(1, std::memory_order_relaxed);
     write_lock_.unlock();  // line 29
   }
@@ -232,6 +282,7 @@ class RCUArray {
                                    current->blocks().end());
     cluster_.coforall_locales([&](std::uint32_t l) {
       PerLocale& p = priv_at(l);
+      flush_overflow_at(l);  // opportunistic retry of deferred spines
       Snapshot<T>* old = p.global_snapshot.load(std::memory_order_relaxed);
       Snapshot<T>* fresh = Snapshot<T>::clone_truncate(*old, keep);
       RCUA_SCHED_POINT("rcua.resize.publish");
@@ -240,6 +291,13 @@ class RCUArray {
       if constexpr (Policy::is_qsbr) {
         qsbr_->defer_delete(old);
       } else {
+        // Unlike resize_add, this drain stays BLOCKING even under a
+        // non-blocking stall policy: the dropped blocks freed below are
+        // shared by every locale's spine, so their reclamation needs
+        // every locale's readers drained — the per-locale parity tag the
+        // overflow list relies on cannot cover them (DESIGN.md §8). A
+        // stalled reader therefore delays resize_remove (an extension
+        // path), never resize_add.
         const auto epoch = p.ebr.advance_epoch();
         RCUA_SCHED_POINT("rcua.resize.epoch_bumped");
         p.ebr.wait_for_readers(epoch);
@@ -423,6 +481,57 @@ class RCUArray {
     return priv_at(locale).ebr.stats();
   }
 
+  // -- Stall tolerance observability ------------------------------------
+
+  /// Resize publish rounds repeated because a locale's broadcast step
+  /// was dropped (injected fault) — each increment is one retry sweep.
+  [[nodiscard]] std::uint64_t broadcast_retries() const noexcept {
+    return broadcast_retries_.load(std::memory_order_relaxed);
+  }
+  /// Spines deferred onto an overflow list because their drain timed out.
+  [[nodiscard]] std::uint64_t stalled_spines() const noexcept {
+    return stalled_spines_.load(std::memory_order_relaxed);
+  }
+  /// Bytes currently parked on overflow lists across all locales.
+  [[nodiscard]] std::size_t overflow_pending_bytes() const {
+    std::size_t total = 0;
+    for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
+      total += priv_at(l).overflow.pending_bytes();
+    }
+    return total;
+  }
+  /// Spines currently parked on overflow lists across all locales.
+  [[nodiscard]] std::size_t overflow_pending_objects() const {
+    std::size_t total = 0;
+    for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
+      total += priv_at(l).overflow.pending_objects();
+    }
+    return total;
+  }
+  /// The watchdog this array reports to.
+  [[nodiscard]] reclaim::StallMonitor& stall_monitor() noexcept {
+    return *monitor_;
+  }
+
+  /// Manually retries reclamation of every locale's deferred spines
+  /// (resizes do this opportunistically anyway). Returns spines freed.
+  std::size_t reclaim_overflow() {
+    write_lock_.lock();
+    std::atomic<std::size_t> before{0};
+    std::atomic<std::size_t> after{0};
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      before.fetch_add(p.overflow.pending_objects(),
+                       std::memory_order_relaxed);
+      flush_overflow_at(l);
+      after.fetch_add(p.overflow.pending_objects(),
+                      std::memory_order_relaxed);
+    });
+    write_lock_.unlock();
+    return before.load(std::memory_order_relaxed) -
+           after.load(std::memory_order_relaxed);
+  }
+
  private:
   /// The privatized per-locale copy (Listing 1's RCUArrayMetaData).
   struct alignas(plat::kCacheLine) PerLocale {
@@ -432,7 +541,98 @@ class RCUArray {
     typename Policy::Reclaimer ebr{0, Policy::is_qsbr ? std::size_t{1}
                                                       : std::size_t{0}};
     std::uint32_t next_locale_id = 0;
+    /// Spines whose grace-period drain timed out, parked until both
+    /// reader columns have been observed empty since the push. Per-
+    /// locale is sufficient: a spine on locale l is only ever
+    /// dereferenced under locale l's EBR instance (the snapshot pointer
+    /// is privatized).
+    reclaim::OverflowRetireList overflow;
   };
+
+  [[nodiscard]] static std::size_t spine_bytes(
+      const Snapshot<T>& s) noexcept {
+    return sizeof(Snapshot<T>) + s.num_blocks() * sizeof(Block<T>*);
+  }
+
+  /// EBR spine retirement with stall tolerance (RCU_Write lines 5-8,
+  /// deadline-bounded). Returns true when the drain completed and `old`
+  /// was freed; false when the deadline expired and `old` was deferred
+  /// onto locale `l`'s overflow list (bytes accounted on the locale and
+  /// against the watchdog budget).
+  bool retire_spine_ebr(PerLocale& p, std::uint32_t l, Snapshot<T>* old) {
+    const auto epoch = p.ebr.advance_epoch();
+    RCUA_SCHED_POINT("rcua.resize.epoch_bumped");
+    const reclaim::DrainResult drain =
+        p.ebr.try_wait_for_readers(epoch, stall_policy_);
+    // The drained fast path is only sound while the overflow list is
+    // empty: a pending entry means an earlier grace period on this
+    // domain never completed, so a reader announced on the *other*
+    // parity may have loaded `old` before this resize unpublished it
+    // (DESIGN.md §8). With entries pending, `old` joins the overflow
+    // list and waits for both columns like everything else.
+    if (drain.drained && p.overflow.pending_objects() == 0) {
+      RCUA_SCHED_POINT("rcua.resize.retire_spine");
+      delete old;
+      return true;
+    }
+    reclaim::StallDiagnostic diag;
+    diag.kind = reclaim::StallDiagnostic::Kind::kEbrReader;
+    diag.domain = &p.ebr;
+    diag.locale = l;
+    diag.epoch = static_cast<std::uint64_t>(epoch);
+    diag.stripe = drain.stuck_stripe;
+    diag.stuck_readers = drain.stuck_readers;
+    diag.waited_ns = drain.waited_ns;
+    // Only an expired deadline is a stall; a drained-but-deferred spine
+    // (premise broken by an earlier stall) is bookkeeping, not news.
+    if (!drain.drained) monitor_->record_stall(diag);
+    const std::size_t bytes = spine_bytes(*old);
+    if (monitor_->would_exceed(bytes)) {
+      monitor_->escalate(diag);  // aborts under kFatal
+      if (monitor_->escalation() ==
+          reclaim::StallMonitor::Escalation::kBlock) {
+        // Hard memory bound: refuse the overflow and pay the blocking
+        // drain instead — memory stays bounded, resize latency degrades.
+        // Draining the overflow list first restores the fast-path
+        // premise, after which this spine's own column gates it.
+        plat::Backoff backoff(/*yield_threshold=*/4);
+        for (;;) {
+          flush_overflow_at(l);
+          if (p.overflow.pending_objects() == 0 &&
+              p.ebr.readers_at(static_cast<std::size_t>(epoch % 2)) == 0) {
+            break;
+          }
+          backoff.pause();
+        }
+        RCUA_SCHED_POINT("rcua.resize.retire_spine");
+        delete old;
+        return true;
+      }
+      // kWarn: budget waived by configuration; fall through and defer.
+    }
+    stalled_spines_.fetch_add(1, std::memory_order_relaxed);
+    monitor_->note_overflow(bytes);
+    cluster_.locale(l).note_alloc(bytes);
+    p.overflow.push([](void* s) { delete static_cast<Snapshot<T>*>(s); },
+                    old, bytes, static_cast<std::uint64_t>(epoch));
+    RCUA_SCHED_POINT("rcua.resize.overflow_spine");
+    return false;
+  }
+
+  /// Frees locale `l`'s deferred spines that have seen both reader
+  /// columns empty since deferral (the "retry reclamation
+  /// opportunistically" half of the watchdog design; called from every
+  /// resize path and reclaim_overflow()).
+  void flush_overflow_at(std::uint32_t l) {
+    PerLocale& p = priv_at(l);
+    if (p.overflow.pending_objects() == 0) return;
+    const auto flushed = p.overflow.flush_ready(
+        [&](std::size_t parity) { return p.ebr.readers_at(parity) == 0; });
+    if (flushed.objects != 0) {
+      cluster_.locale(l).note_free(flushed.bytes);
+      monitor_->note_flushed(flushed.bytes, flushed.objects);
+    }
+  }
 
   [[nodiscard]] PerLocale& priv() const {
     return priv_at(cluster_.here());
@@ -471,6 +671,9 @@ class RCUArray {
       qsbr_->ensure_participant();
       Snapshot<T>* s = p.global_snapshot.load(std::memory_order_acquire);
       sim::charge(m.atomic_load_ns);
+      if (rt::FaultPlan* plan = cluster_.fault_plan()) {
+        plan->stall_here(here);  // chaos: stall while holding the snapshot
+      }
       return helper(s);
     } else {
       // line 8: RCU_Read with Helper as the λ. The returned reference
@@ -478,6 +681,9 @@ class RCUArray {
       // into a recycled block, not the reclaimed spine.
       return p.ebr.read([&]() -> T& {
         sim::charge(m.atomic_load_ns);
+        if (rt::FaultPlan* plan = cluster_.fault_plan()) {
+          plan->stall_here(here);  // chaos: stall mid-read-section
+        }
         return helper(p.global_snapshot.load(std::memory_order_acquire));
       });
     }
@@ -499,9 +705,14 @@ class RCUArray {
   rt::Cluster& cluster_;
   std::size_t block_size_;
   reclaim::Qsbr* qsbr_;
+  reclaim::StallPolicy stall_policy_;
+  reclaim::StallMonitor* monitor_;
+  std::uint32_t max_publish_attempts_;
   rt::GlobalLock write_lock_;
   int pid_;
   std::atomic<std::uint64_t> resizes_{0};
+  std::atomic<std::uint64_t> broadcast_retries_{0};
+  std::atomic<std::uint64_t> stalled_spines_{0};
 };
 
 }  // namespace rcua

@@ -1,20 +1,40 @@
 #include "reclaim/call_rcu.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 namespace rcua::reclaim {
 
-CallRcu::CallRcu(Ebr& ebr)
-    : ebr_(ebr), dispatcher_([this] { dispatcher_main(); }) {}
+CallRcu::CallRcu(Ebr& ebr, StallPolicy policy, StallMonitor* monitor)
+    : ebr_(ebr),
+      policy_(policy),
+      monitor_(monitor != nullptr ? monitor : &StallMonitor::global()),
+      dispatcher_([this] { dispatcher_main(); }) {}
 
 CallRcu::~CallRcu() {
+  accepting_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> guard(mu_);
     stop_ = true;
     work_cv_.notify_all();
   }
   dispatcher_.join();
+  // A call() that passed the accepting_ check just before the flip may
+  // have enqueued after the dispatcher's final sweep; honour it.
+  if (!pending_.empty()) {
+    ebr_.synchronize();
+    invoke_batch(pending_);
+  }
 }
 
 void CallRcu::call(void (*fn)(void*), void* arg) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    std::fprintf(stderr,
+                 "rcua: CallRcu::call() after shutdown began — callback "
+                 "would race dispatcher teardown\n");
+    std::abort();
+  }
   std::lock_guard<std::mutex> guard(mu_);
   pending_.push_back({fn, arg});
   enqueued_.fetch_add(1, std::memory_order_relaxed);
@@ -29,27 +49,121 @@ void CallRcu::barrier() {
   });
 }
 
+void CallRcu::invoke_batch(std::vector<Callback>& batch) {
+  for (const Callback& cb : batch) cb.fn(cb.arg);
+  const auto n = static_cast<std::uint64_t>(batch.size());
+  batch.clear();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    invoked_.fetch_add(n, std::memory_order_release);
+    done_cv_.notify_all();
+  }
+}
+
+void CallRcu::retry_stalled() {
+  std::vector<StalledBatch> parked;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (stalled_.empty()) return;
+    parked.swap(stalled_);
+  }
+  std::vector<StalledBatch> still;
+  for (StalledBatch& sb : parked) {
+    // Both reader columns observed empty after the park: the batch's own
+    // parity is not enough, because a parked batch means the dispatcher
+    // ran ahead of a stalled reader, and that reader — announced on the
+    // other parity — may hold objects this batch retires (DESIGN.md §8).
+    if (ebr_.readers_at(0) == 0 && ebr_.readers_at(1) == 0) {
+      grace_periods_.fetch_add(1, std::memory_order_relaxed);
+      invoke_batch(sb.callbacks);
+    } else {
+      still.push_back(std::move(sb));
+    }
+  }
+  if (!still.empty()) {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (StalledBatch& sb : still) stalled_.push_back(std::move(sb));
+  }
+}
+
 void CallRcu::dispatcher_main() {
   std::vector<Callback> batch;
   for (;;) {
+    bool stopping;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
-      if (pending_.empty() && stop_) return;
+      while (!stop_ && pending_.empty()) {
+        if (stalled_.empty()) {
+          work_cv_.wait(lock);
+        } else {
+          // Parked batches pending: wake on a timer to re-check their
+          // parity columns even if no new work arrives.
+          const auto poll = std::chrono::nanoseconds(
+              std::max<std::uint64_t>(policy_.deadline_ns, 1000 * 1000));
+          work_cv_.wait_for(lock, poll);
+          break;
+        }
+      }
+      stopping = stop_;
       batch.swap(pending_);
     }
-    // One grace period covers the whole batch: every callback was
-    // enqueued before the epoch advance, so every reader that could
-    // still see the retired state is drained by it.
-    ebr_.synchronize();
-    grace_periods_.fetch_add(1, std::memory_order_relaxed);
-    for (const Callback& cb : batch) cb.fn(cb.arg);
-    const auto n = static_cast<std::uint64_t>(batch.size());
-    batch.clear();
-    {
-      std::lock_guard<std::mutex> guard(mu_);
-      invoked_.fetch_add(n, std::memory_order_release);
-      done_cv_.notify_all();
+    retry_stalled();
+    if (!batch.empty()) {
+      // One grace period covers the whole batch: every callback was
+      // enqueued before the epoch advance, so every reader that could
+      // still see the retired state is drained by it.
+      const auto epoch = ebr_.advance_epoch();
+      const DrainResult drain = ebr_.try_wait_for_readers(epoch, policy_);
+      bool premise_ok;
+      {
+        // The single-parity drain is only conclusive while no batch is
+        // parked: a parked batch means an earlier grace period never
+        // completed, so a stalled reader on the other parity may hold
+        // objects this batch retires (DESIGN.md §8).
+        std::lock_guard<std::mutex> guard(mu_);
+        premise_ok = stalled_.empty();
+      }
+      if (drain.drained && premise_ok) {
+        grace_periods_.fetch_add(1, std::memory_order_relaxed);
+        invoke_batch(batch);
+      } else {
+        // Deadline expired (or an earlier batch is still parked): park
+        // the batch instead of blocking the dispatcher behind one
+        // stalled reader.
+        if (!drain.drained) {
+          StallDiagnostic diag;
+          diag.kind = StallDiagnostic::Kind::kEbrReader;
+          diag.domain = &ebr_;
+          diag.epoch = epoch;
+          diag.stripe = drain.stuck_stripe;
+          diag.stuck_readers = drain.stuck_readers;
+          diag.waited_ns = drain.waited_ns;
+          monitor_->record_stall(diag);
+        }
+        stalled_batches_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> guard(mu_);
+        stalled_.push_back(
+            {std::move(batch), static_cast<std::size_t>(epoch % 2)});
+        batch.clear();
+      }
+    }
+    if (stopping) {
+      // Destruction guarantees every callback runs: blocking-drain every
+      // batch still parked, however long its reader takes.
+      std::vector<StalledBatch> parked;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        parked.swap(stalled_);
+      }
+      for (StalledBatch& sb : parked) {
+        plat::Backoff backoff(/*yield_threshold=*/4);
+        while (ebr_.readers_at(0) != 0 || ebr_.readers_at(1) != 0) {
+          backoff.pause();
+        }
+        grace_periods_.fetch_add(1, std::memory_order_relaxed);
+        invoke_batch(sb.callbacks);
+      }
+      return;
     }
   }
 }

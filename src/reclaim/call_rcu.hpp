@@ -23,11 +23,24 @@ namespace rcua::reclaim {
 /// advance-and-drain for the whole batch, then invokes them. One
 /// synchronize amortizes over the batch — the standard deferral
 /// optimization.
+///
+/// Stall tolerance: with a non-blocking StallPolicy the dispatcher's
+/// drain gives up at the deadline. The batch is parked on a stalled list
+/// tagged with its grace period's parity, a StallDiagnostic is emitted,
+/// and the dispatcher keeps serving new batches — re-checking parked
+/// batches opportunistically (their parity column observed empty is
+/// sufficient; see DESIGN.md §8) and draining them for real in the
+/// destructor. A stalled reader thus delays only its own batch's
+/// callbacks, never the dispatcher.
 class CallRcu {
  public:
   /// Binds the dispatcher to `ebr`; callbacks run once every reader that
-  /// might hold pre-call state has evacuated that domain.
-  explicit CallRcu(Ebr& ebr);
+  /// might hold pre-call state has evacuated that domain. `policy`
+  /// bounds each grace-period drain (default: env-configured, blocking
+  /// unless RCUA_STALL_DEADLINE_NS is set). `monitor` receives stall
+  /// diagnostics (default: the process-wide monitor).
+  explicit CallRcu(Ebr& ebr, StallPolicy policy = StallPolicy::from_env(),
+                   StallMonitor* monitor = nullptr);
 
   /// Drains every pending callback, then stops the dispatcher.
   ~CallRcu();
@@ -36,6 +49,9 @@ class CallRcu {
   CallRcu& operator=(const CallRcu&) = delete;
 
   /// Runs `fn(arg)` after a grace period. Never blocks on readers.
+  /// Calling after destruction has begun is a program error and fails
+  /// loudly (abort with a message) instead of racing the dispatcher
+  /// teardown.
   void call(void (*fn)(void*), void* arg);
 
   /// `delete obj` after a grace period.
@@ -58,6 +74,10 @@ class CallRcu {
   [[nodiscard]] std::uint64_t grace_periods() const noexcept {
     return grace_periods_.load(std::memory_order_relaxed);
   }
+  /// Number of batches whose drain hit the deadline and were parked.
+  [[nodiscard]] std::uint64_t stalled_batches() const noexcept {
+    return stalled_batches_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Callback {
@@ -65,17 +85,36 @@ class CallRcu {
     void* arg;
   };
 
+  /// A batch whose grace period timed out, tagged with the parity of the
+  /// epoch it was retired under: once that parity's reader column is
+  /// observed empty the batch may run.
+  struct StalledBatch {
+    std::vector<Callback> callbacks;
+    std::size_t parity;
+  };
+
   void dispatcher_main();
+  /// Runs `batch` and publishes the invoked count. Caller must not hold
+  /// `mu_`.
+  void invoke_batch(std::vector<Callback>& batch);
+  /// Re-checks parked batches (under `mu_`-free reads of the reader
+  /// bank) and runs the ones whose parity has drained.
+  void retry_stalled();
 
   Ebr& ebr_;
+  StallPolicy policy_;
+  StallMonitor* monitor_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::vector<Callback> pending_;
+  std::vector<StalledBatch> stalled_;
   bool stop_ = false;
+  std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> invoked_{0};
   std::atomic<std::uint64_t> grace_periods_{0};
+  std::atomic<std::uint64_t> stalled_batches_{0};
   std::thread dispatcher_;
 };
 

@@ -9,6 +9,7 @@
 #include "platform/align.hpp"
 #include "platform/backoff.hpp"
 #include "platform/topology.hpp"
+#include "reclaim/stall_monitor.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/resource.hpp"
 #include "sim/task_clock.hpp"
@@ -21,6 +22,19 @@
 #endif
 
 namespace rcua::reclaim {
+
+/// Outcome of a deadline-bounded drain (BasicEbr::try_wait_for_readers).
+/// On timeout the stuck-stripe fields identify the offender for the
+/// stall diagnostic.
+struct DrainResult {
+  bool drained = true;
+  std::uint64_t waited_ns = 0;
+  /// First stripe whose old-parity slot was non-zero at expiry
+  /// (SIZE_MAX when drained or when the column emptied between checks).
+  std::size_t stuck_stripe = SIZE_MAX;
+  /// Old-parity column sum observed at expiry.
+  std::uint64_t stuck_readers = 0;
+};
 
 /// Default number of reader-counter stripes: the hardware thread count
 /// rounded up to a power of two (clamped to [1, 256]), overridable with
@@ -242,6 +256,50 @@ class BasicEbr {
       }
     }
     sim::charge(sim::CostModel::get().epoch_drain_ns);
+  }
+
+  /// Deadline-bounded variant of wait_for_readers: drains the old-parity
+  /// column under `policy`'s spin -> yield -> park backoff, giving up
+  /// once the deadline expires (a blocking policy never gives up, making
+  /// this equivalent to wait_for_readers). On timeout the result carries
+  /// the stall evidence — the column sum and the first stuck stripe — so
+  /// the caller can emit a StallDiagnostic and defer the retired memory
+  /// onto an OverflowRetireList instead of blocking forever.
+  DrainResult try_wait_for_readers(EpochT old_epoch,
+                                   const StallPolicy& policy) noexcept {
+    const std::size_t idx = static_cast<std::size_t>(old_epoch % 2);
+    DrainResult result;
+    if (RCUA_SCHED_MUT(ebr_skip_drain)) return result;
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+    if constexpr (Layout::kStriped) {
+      if (RCUA_SCHED_MUT(ebr_skip_fence) && hoisted_scan_zero_[idx]) {
+        hoisted_scan_zero_[idx] = false;
+        return result;
+      }
+    }
+#endif
+    const std::uint64_t start = plat::now_ns();
+    result.drained = wait_with_policy("ebr.try_wait_for_readers", policy,
+                                      [&] { return column_sum(idx) == 0; });
+    result.waited_ns = plat::now_ns() - start;
+    if (result.drained) {
+      sim::charge(sim::CostModel::get().epoch_drain_ns);
+      return result;
+    }
+    result.stuck_readers = column_sum(idx);
+    result.stuck_stripe = scan_stalled_stripe(idx);
+    return result;
+  }
+
+  /// First stripe currently holding a non-zero count at `parity`;
+  /// SIZE_MAX when the column is empty. Watchdog detection surface.
+  [[nodiscard]] std::size_t scan_stalled_stripe(std::size_t parity) const
+      noexcept {
+    const std::size_t idx = parity % 2;
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      if (slots_[s * 2 + idx]->load(std::memory_order_acquire) != 0) return s;
+    }
+    return SIZE_MAX;
   }
 
   /// advance + drain in one call ("synchronize_rcu").

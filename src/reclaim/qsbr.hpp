@@ -5,6 +5,7 @@
 
 #include "platform/align.hpp"
 #include "reclaim/retire_list.hpp"
+#include "reclaim/stall_monitor.hpp"
 #include "runtime/thread_registry.hpp"
 
 namespace rcua::reclaim {
@@ -51,6 +52,46 @@ class Qsbr final : public rt::EpochDomain {
     std::uint64_t reclaimed = 0;
   };
 
+  /// Test-only fault injection, mirroring BasicEbr::test_read_hook: when
+  /// non-null, invoked at the checkpoint/park protocol windows so tests
+  /// can drive stalls deterministically. Production leaves it null (one
+  /// predicted-not-taken branch per site).
+  enum : int {
+    /// After the checkpoint's StateEpoch read, before the observation
+    /// store (Algorithm 2 between lines 4 and 5) — the window where the
+    /// epoch can move under the observer.
+    kHookCheckpointEpochRead = 0,
+    /// After the observation store, before the min scan (before line 6).
+    kHookCheckpointObserved = 1,
+    /// On entry to park(), before the registry housekeeping runs.
+    kHookPark = 2,
+    /// On entry to unpark(), before the thread becomes visible again.
+    kHookUnpark = 3,
+  };
+  using TestHook = void (*)(Qsbr&, int phase);
+  TestHook test_hook = nullptr;
+
+  /// Outcome of a deadline-bounded synchronize (try_synchronize). On
+  /// timeout the laggard fields identify who is gating the minimum.
+  struct SyncResult {
+    bool quiesced = true;
+    /// The StateEpoch every participant must observe.
+    std::uint64_t target_epoch = 0;
+    std::uint64_t waited_ns = 0;
+    /// Laggards at expiry: count, the first one's record and its epoch.
+    std::uint64_t laggards = 0;
+    const rt::ThreadRecord* laggard = nullptr;
+    std::uint64_t laggard_observed = 0;
+  };
+
+  /// Report on threads gating quiescence at `target_epoch` — the
+  /// watchdog's QSBR detection surface.
+  struct LaggardReport {
+    std::uint64_t count = 0;
+    const rt::ThreadRecord* first = nullptr;
+    std::uint64_t first_observed = 0;
+  };
+
   /// QSBR_Defer: schedules `delete obj` once every thread has observed a
   /// state no older than the one this call creates.
   template <typename T>
@@ -73,6 +114,21 @@ class Qsbr final : public rt::EpochDomain {
   /// the number of objects reclaimed.
   std::size_t checkpoint();
 
+  /// Blocks until every participant has observed a state no older than
+  /// the one current at entry (bumping the StateEpoch so laggards have a
+  /// fresh state to observe). The QSBR analogue of Ebr::synchronize.
+  void synchronize() { (void)try_synchronize(StallPolicy{}); }
+
+  /// Deadline-bounded synchronize: waits under `policy` for every
+  /// participant to catch up; a blocking policy never gives up. On
+  /// timeout, reports the laggards gating the minimum so the caller can
+  /// emit a StallDiagnostic instead of blocking forever.
+  SyncResult try_synchronize(const StallPolicy& policy);
+
+  /// Participants whose observed epoch is still below `target_epoch`
+  /// (active and non-parked — parked threads never gate the minimum).
+  [[nodiscard]] LaggardReport scan_laggards(std::uint64_t target_epoch) const;
+
   /// Makes the calling thread a participant (visible to the safe-epoch
   /// minimum) if it isn't already. The paper's model has *every* thread
   /// participate from the start ("All threads act as participants"); a
@@ -86,8 +142,14 @@ class Qsbr final : public rt::EpochDomain {
   /// and stop gating the safe-epoch minimum. (Delegates to the registry,
   /// which parks the thread for *all* domains, as an idle thread is idle
   /// everywhere.)
-  void park() { registry_.park_current_thread(); }
-  void unpark() { registry_.unpark_current_thread(); }
+  void park() {
+    if (test_hook != nullptr) test_hook(*this, kHookPark);
+    registry_.park_current_thread();
+  }
+  void unpark() {
+    if (test_hook != nullptr) test_hook(*this, kHookUnpark);
+    registry_.unpark_current_thread();
+  }
 
   /// Number of deferrals currently pending on the calling thread.
   [[nodiscard]] std::size_t pending_on_this_thread();

@@ -1,0 +1,175 @@
+#include "reclaim/stall_monitor.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace rcua::reclaim {
+
+StallPolicy StallPolicy::from_env() {
+  StallPolicy p;
+  p.deadline_ns = util::env_u64("RCUA_STALL_DEADLINE_NS", p.deadline_ns);
+  p.spin_iters = static_cast<std::uint32_t>(
+      util::env_u64("RCUA_STALL_SPIN", p.spin_iters));
+  p.yield_iters = static_cast<std::uint32_t>(
+      util::env_u64("RCUA_STALL_YIELD", p.yield_iters));
+  p.park_ns = util::env_u64("RCUA_STALL_PARK_NS", p.park_ns);
+  p.park_max_ns = util::env_u64("RCUA_STALL_PARK_MAX_NS", p.park_max_ns);
+  p.sched_polls = static_cast<std::uint32_t>(
+      util::env_u64("RCUA_STALL_SCHED_POLLS", p.sched_polls));
+  if (p.park_max_ns < p.park_ns) p.park_max_ns = p.park_ns;
+  return p;
+}
+
+std::string StallDiagnostic::describe() const {
+  char buf[256];
+  switch (kind) {
+    case Kind::kEbrReader:
+      std::snprintf(buf, sizeof(buf),
+                    "rcua: EBR stall: domain %p locale %d stripe %zd holds "
+                    "%" PRIu64 " reader(s) at epoch %" PRIu64
+                    " after %" PRIu64 " ns",
+                    domain, locale == UINT32_MAX ? -1 : static_cast<int>(locale),
+                    stripe == SIZE_MAX ? static_cast<std::ptrdiff_t>(-1)
+                                       : static_cast<std::ptrdiff_t>(stripe),
+                    stuck_readers, epoch, waited_ns);
+      break;
+    case Kind::kQsbrLaggard:
+      std::snprintf(buf, sizeof(buf),
+                    "rcua: QSBR stall: domain %p has %" PRIu64
+                    " laggard(s); thread %p observed epoch %" PRIu64
+                    " < target %" PRIu64 " after %" PRIu64 " ns",
+                    domain, laggards, thread, thread_observed, epoch,
+                    waited_ns);
+      break;
+    case Kind::kOverflowBudget:
+      std::snprintf(buf, sizeof(buf),
+                    "rcua: overflow budget: domain %p locale %d pending "
+                    "%zu bytes would exceed budget %zu bytes (epoch %" PRIu64
+                    ")",
+                    domain, locale == UINT32_MAX ? -1 : static_cast<int>(locale),
+                    overflow_bytes, budget_bytes, epoch);
+      break;
+  }
+  return std::string(buf);
+}
+
+StallMonitor& StallMonitor::global() {
+  static StallMonitor* monitor = [] {
+    const auto budget = static_cast<std::size_t>(util::env_u64(
+        "RCUA_OVERFLOW_BUDGET_BYTES", 64ULL * 1024 * 1024));
+    Escalation esc = Escalation::kBlock;
+    if (auto s = util::env_str("RCUA_STALL_ESCALATE")) {
+      if (*s == "warn") {
+        esc = Escalation::kWarn;
+      } else if (*s == "fatal") {
+        esc = Escalation::kFatal;
+      } else if (*s == "block") {
+        esc = Escalation::kBlock;
+      } else {
+        std::fprintf(stderr,
+                     "rcua: RCUA_STALL_ESCALATE=\"%s\" not one of "
+                     "warn|block|fatal; using block\n",
+                     s->c_str());
+      }
+    }
+    return new StallMonitor(budget, esc);  // immortal
+  }();
+  return *monitor;
+}
+
+void StallMonitor::default_sink(const StallDiagnostic& diag, void* user) {
+  (void)user;
+  std::fprintf(stderr, "%s\n", diag.describe().c_str());
+}
+
+void StallMonitor::record_stall(const StallDiagnostic& diag) {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<plat::Spinlock> guard(last_lock_);
+    last_ = diag;
+  }
+  if (sink_ != nullptr) sink_(diag, sink_user_);
+}
+
+StallDiagnostic StallMonitor::last() const {
+  std::lock_guard<plat::Spinlock> guard(last_lock_);
+  return last_;
+}
+
+void StallMonitor::note_overflow(std::size_t bytes,
+                                 std::size_t objects) noexcept {
+  overflow_objects_.fetch_add(objects, std::memory_order_relaxed);
+  const std::size_t now =
+      overflow_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = peak_overflow_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_overflow_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void StallMonitor::note_flushed(std::size_t bytes,
+                                std::size_t objects) noexcept {
+  flushed_objects_.fetch_add(objects, std::memory_order_relaxed);
+  overflow_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void StallMonitor::escalate(StallDiagnostic diag) {
+  diag.kind = StallDiagnostic::Kind::kOverflowBudget;
+  diag.budget_bytes = budget_bytes_;
+  diag.overflow_bytes = overflow_bytes();
+  escalations_.fetch_add(1, std::memory_order_relaxed);
+  record_stall(diag);
+  if (escalation_ == Escalation::kFatal) {
+    std::fprintf(stderr,
+                 "rcua: StallMonitor: overflow budget exceeded under "
+                 "kFatal escalation; aborting\n");
+    std::abort();
+  }
+}
+
+void OverflowRetireList::push(void (*deleter)(void*), void* obj,
+                              std::size_t bytes, std::uint64_t epoch) {
+  auto* e = new Entry{nullptr,          deleter, obj, bytes,
+                      static_cast<std::size_t>(epoch % 2), epoch,
+                      {false, false}};
+  {
+    std::lock_guard<plat::Spinlock> guard(lock_);
+    e->next = head_;
+    head_ = e;
+  }
+  pending_objects_.fetch_add(1, std::memory_order_relaxed);
+  pending_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+OverflowRetireList::FlushResult OverflowRetireList::free_all() {
+  Entry* chain;
+  {
+    std::lock_guard<plat::Spinlock> guard(lock_);
+    chain = head_;
+    head_ = nullptr;
+  }
+  return reclaim_chain(chain);
+}
+
+OverflowRetireList::FlushResult OverflowRetireList::reclaim_chain(
+    Entry* chain) {
+  FlushResult result;
+  while (chain != nullptr) {
+    Entry* next = chain->next;
+    chain->deleter(chain->obj);
+    result.objects += 1;
+    result.bytes += chain->bytes;
+    delete chain;
+    chain = next;
+  }
+  if (result.objects != 0) {
+    pending_objects_.fetch_sub(result.objects, std::memory_order_relaxed);
+    pending_bytes_.fetch_sub(result.bytes, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace rcua::reclaim

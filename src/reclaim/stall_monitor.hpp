@@ -1,0 +1,328 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "platform/backoff.hpp"
+#include "platform/spinlock.hpp"
+#include "platform/timing.hpp"
+#include "testing/sched_point.hpp"
+
+namespace rcua::reclaim {
+
+/// Deadline/backoff policy for grace-period waits — the knob that turns
+/// "block forever on a stalled reader" (classic EBR fragility, the DEBRA+
+/// critique) into "give up after a bounded wait and let the caller defer".
+///
+/// The wait escalates spin -> yield -> park-with-exponential-backoff; a
+/// `deadline_ns` of 0 keeps the historical blocking behaviour, so every
+/// existing call site is unchanged unless a policy is configured.
+///
+/// Under the deterministic scheduler (RCUA_SCHED_TEST) wall clocks would
+/// break seed replay, so a non-blocking wait instead polls the predicate
+/// `sched_polls` times, yielding to the scheduler between polls — the
+/// deadline becomes a schedule-countable event.
+struct StallPolicy {
+  /// Wall-clock budget for a grace-period wait; 0 = block forever.
+  std::uint64_t deadline_ns = 0;
+  /// Pure cpu_relax iterations before escalating to thread yields.
+  std::uint32_t spin_iters = 64;
+  /// Thread yields before escalating to parking sleeps.
+  std::uint32_t yield_iters = 64;
+  /// First parking sleep; doubles each round up to `park_max_ns`.
+  std::uint64_t park_ns = 50 * 1000;
+  std::uint64_t park_max_ns = 1000 * 1000;
+  /// Non-blocking poll budget under the deterministic scheduler.
+  std::uint32_t sched_polls = 4;
+
+  [[nodiscard]] bool blocking() const noexcept { return deadline_ns == 0; }
+
+  /// Environment-configured policy: RCUA_STALL_DEADLINE_NS,
+  /// RCUA_STALL_SPIN, RCUA_STALL_YIELD, RCUA_STALL_PARK_NS,
+  /// RCUA_STALL_PARK_MAX_NS, RCUA_STALL_SCHED_POLLS. Defaults (deadline 0)
+  /// preserve blocking semantics.
+  [[nodiscard]] static StallPolicy from_env();
+};
+
+/// Waits until `pred()` holds or the policy's deadline expires. Returns
+/// true iff the predicate held. `site` names the wait in sched traces.
+template <typename Pred>
+bool wait_with_policy(const char* site, const StallPolicy& policy,
+                      Pred&& pred) {
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active()) {
+    if (policy.blocking()) {
+      testing::sched_await(site, [&] { return pred(); });
+      return true;
+    }
+    for (std::uint32_t i = 0; i < policy.sched_polls; ++i) {
+      if (pred()) return true;
+      testing::sched_point(site);
+    }
+    return pred();
+  }
+#endif
+  (void)site;
+  if (pred()) return true;
+  const std::uint64_t start = plat::now_ns();
+  std::uint64_t park = policy.park_ns;
+  std::uint64_t iter = 0;
+  for (;;) {
+    if (pred()) return true;
+    if (!policy.blocking() && plat::now_ns() - start >= policy.deadline_ns) {
+      return pred();
+    }
+    if (iter < policy.spin_iters) {
+      plat::cpu_relax();
+    } else if (iter < static_cast<std::uint64_t>(policy.spin_iters) +
+                          policy.yield_iters) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(park));
+      if (park < policy.park_max_ns) park = std::min(park * 2, policy.park_max_ns);
+    }
+    ++iter;
+  }
+}
+
+/// Structured description of one detected stall: who is stuck, where,
+/// for how long, at what epoch. Emitted to the owning StallMonitor's sink
+/// (stderr by default) and kept as `last()` for programmatic inspection.
+struct StallDiagnostic {
+  enum class Kind : int {
+    /// An EBR old-parity column refused to drain before the deadline.
+    kEbrReader = 0,
+    /// A QSBR participant has not observed the target StateEpoch.
+    kQsbrLaggard = 1,
+    /// The overflow retire list exceeded its byte budget.
+    kOverflowBudget = 2,
+  };
+
+  Kind kind = Kind::kEbrReader;
+  /// The reclamation domain instance (Ebr / Qsbr) that stalled.
+  const void* domain = nullptr;
+  /// Locale the stall was observed on; UINT32_MAX when not locale-bound.
+  std::uint32_t locale = UINT32_MAX;
+  /// Epoch being drained (EBR: the pre-bump epoch; QSBR: target epoch).
+  std::uint64_t epoch = 0;
+  /// EBR: first stripe with a non-zero old-parity count (SIZE_MAX = n/a).
+  std::size_t stripe = SIZE_MAX;
+  /// EBR: old-parity column sum at deadline expiry.
+  std::uint64_t stuck_readers = 0;
+  /// QSBR: the first laggard's ThreadRecord and its observed epoch.
+  const void* thread = nullptr;
+  std::uint64_t thread_observed = 0;
+  /// QSBR: how many laggards gate the minimum.
+  std::uint64_t laggards = 0;
+  /// How long the waiter spun before giving up.
+  std::uint64_t waited_ns = 0;
+  /// Overflow-budget escalations: bytes pending vs the configured budget.
+  std::size_t overflow_bytes = 0;
+  std::size_t budget_bytes = 0;
+
+  /// One-line human-readable rendering ("which stripe/thread is stuck,
+  /// for how long, at what epoch").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Watchdog over grace-period stalls and overflow memory. Reclaimers
+/// report stalls through `record_stall`; structures that defer retired
+/// memory past a stalled grace period account the bytes here, and the
+/// monitor enforces a hard bound by escalating once the pending bytes
+/// would exceed `budget_bytes` (0 = unlimited):
+///
+///   kWarn  — diagnose and allow the overflow to keep growing,
+///   kBlock — refuse the overflow; the caller must fall back to the
+///            blocking wait (memory stays bounded, latency degrades),
+///   kFatal — abort: treat a budget breach as a failed domain.
+///
+/// Thread-safe; one instance may be shared across locales and domains.
+class StallMonitor {
+ public:
+  enum class Escalation : int { kWarn = 0, kBlock = 1, kFatal = 2 };
+
+  using Sink = void (*)(const StallDiagnostic&, void* user);
+
+  explicit StallMonitor(std::size_t budget_bytes = 0,
+                        Escalation escalation = Escalation::kBlock) noexcept
+      : budget_bytes_(budget_bytes), escalation_(escalation) {}
+  StallMonitor(const StallMonitor&) = delete;
+  StallMonitor& operator=(const StallMonitor&) = delete;
+
+  /// Process-wide monitor; budget from RCUA_OVERFLOW_BUDGET_BYTES
+  /// (default 64 MiB), escalation from RCUA_STALL_ESCALATE
+  /// (warn|block|fatal, default block).
+  static StallMonitor& global();
+
+  /// Replaces the diagnostic sink (default: one line to stderr). Pass
+  /// nullptr to silence. Not synchronized against in-flight stalls;
+  /// install before concurrent use.
+  void set_sink(Sink sink, void* user) noexcept {
+    sink_ = sink;
+    sink_user_ = user;
+  }
+
+  /// Reports one stall: counts it, remembers it, forwards to the sink.
+  void record_stall(const StallDiagnostic& diag);
+
+  // -- Overflow byte accounting -----------------------------------------
+
+  /// True when admitting `extra` more overflow bytes would exceed the
+  /// budget (always false with an unlimited budget).
+  [[nodiscard]] bool would_exceed(std::size_t extra) const noexcept {
+    const std::size_t budget = budget_bytes_;
+    if (budget == 0) return false;
+    return overflow_bytes_.load(std::memory_order_relaxed) + extra > budget;
+  }
+
+  void note_overflow(std::size_t bytes, std::size_t objects = 1) noexcept;
+  void note_flushed(std::size_t bytes, std::size_t objects) noexcept;
+
+  [[nodiscard]] std::size_t budget_bytes() const noexcept {
+    return budget_bytes_;
+  }
+  [[nodiscard]] Escalation escalation() const noexcept { return escalation_; }
+  [[nodiscard]] std::size_t overflow_bytes() const noexcept {
+    return overflow_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t peak_overflow_bytes() const noexcept {
+    return peak_overflow_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stalls() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t escalations() const noexcept {
+    return escalations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overflow_objects() const noexcept {
+    return overflow_objects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t flushed_objects() const noexcept {
+    return flushed_objects_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the most recent diagnostic (all-zero before the first).
+  [[nodiscard]] StallDiagnostic last() const;
+
+  /// Records a budget escalation (kind kOverflowBudget) and bumps the
+  /// escalation counter; aborts under kFatal.
+  void escalate(StallDiagnostic diag);
+
+ private:
+  std::size_t budget_bytes_;
+  Escalation escalation_;
+  Sink sink_ = &default_sink;
+  void* sink_user_ = nullptr;
+  std::atomic<std::size_t> overflow_bytes_{0};
+  std::atomic<std::size_t> peak_overflow_bytes_{0};
+  std::atomic<std::uint64_t> overflow_objects_{0};
+  std::atomic<std::uint64_t> flushed_objects_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> escalations_{0};
+  mutable plat::Spinlock last_lock_;
+  StallDiagnostic last_{};
+
+  static void default_sink(const StallDiagnostic& diag, void* user);
+};
+
+/// Epoch-tagged overflow list for retired EBR memory whose grace period
+/// timed out. An entry may be freed once BOTH reader columns have each
+/// been observed empty at some time after the push. The entry's own
+/// parity alone is NOT sufficient: a timed-out grace period means the
+/// writer ran ahead of a stalled reader, and that reader — announced on
+/// the *other* parity — may have loaded this very object before it was
+/// unpublished (see DESIGN.md §8; the schedule harness finds this bug
+/// when the single-parity shortcut is mutated back in). Bytes are
+/// tracked so callers can feed locale accounting and the StallMonitor
+/// budget.
+class OverflowRetireList {
+ public:
+  OverflowRetireList() = default;
+  OverflowRetireList(const OverflowRetireList&) = delete;
+  OverflowRetireList& operator=(const OverflowRetireList&) = delete;
+  ~OverflowRetireList() { free_all(); }
+
+  struct FlushResult {
+    std::size_t objects = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Defers `(deleter, obj)` retired under epoch `epoch` (parity =
+  /// epoch % 2), accounting `bytes` against the list.
+  void push(void (*deleter)(void*), void* obj, std::size_t bytes,
+            std::uint64_t epoch);
+
+  /// Observes both reader columns via `drained(parity)` and frees every
+  /// entry that has now seen each column empty at least once since its
+  /// push. Observations are sticky per entry, so a stalled reader on one
+  /// parity delays reclamation but never loses the other column's
+  /// already-banked observation. The `watchdog_skip_recheck` mutation
+  /// (sched builds only) regresses to gating on the entry's own retire
+  /// parity — the plausible-but-unsound shortcut the harness must catch.
+  template <typename DrainedPred>
+  FlushResult flush_ready(DrainedPred&& drained) {
+    Entry* ready = nullptr;
+    {
+      // Observe under the lock: every entry present was pushed before
+      // these reads, so the observations count for all of them.
+      std::lock_guard<plat::Spinlock> guard(lock_);
+      const bool empty0 = drained(std::size_t{0});
+      const bool empty1 = drained(std::size_t{1});
+      Entry** link = &head_;
+      while (*link != nullptr) {
+        Entry* e = *link;
+        e->seen_empty[0] = e->seen_empty[0] || empty0;
+        e->seen_empty[1] = e->seen_empty[1] || empty1;
+        bool ok = e->seen_empty[0] && e->seen_empty[1];
+        if (RCUA_SCHED_MUT(watchdog_skip_recheck)) {
+          ok = e->seen_empty[e->parity];
+        }
+        if (ok) {
+          *link = e->next;
+          e->next = ready;
+          ready = e;
+        } else {
+          link = &e->next;
+        }
+      }
+    }
+    return reclaim_chain(ready);
+  }
+
+  /// Frees everything unconditionally. ONLY safe when no reader can hold
+  /// a reference (destructor / teardown under external quiescence).
+  FlushResult free_all();
+
+  [[nodiscard]] std::size_t pending_objects() const noexcept {
+    return pending_objects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return pending_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    Entry* next;
+    void (*deleter)(void*);
+    void* obj;
+    std::size_t bytes;
+    std::size_t parity;
+    std::uint64_t epoch;
+    /// Which reader columns have been observed empty since the push.
+    bool seen_empty[2];
+  };
+
+  FlushResult reclaim_chain(Entry* chain);
+
+  plat::Spinlock lock_;
+  Entry* head_ = nullptr;
+  std::atomic<std::size_t> pending_objects_{0};
+  std::atomic<std::size_t> pending_bytes_{0};
+};
+
+}  // namespace rcua::reclaim

@@ -1,7 +1,9 @@
 #include "runtime/cluster.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "runtime/fault_plan.hpp"
 #include "runtime/this_task.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
@@ -9,8 +11,31 @@
 
 namespace rcua::rt {
 
+namespace {
+/// Rejects degenerate configs before any member construction: a
+/// zero-locale or zero-worker cluster would deadlock the first coforall
+/// instead of failing with a diagnosable error.
+const ClusterConfig& validated(const ClusterConfig& config) {
+  if (config.num_locales == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: num_locales == 0 (a cluster needs at least one "
+        "locale)");
+  }
+  if (config.workers_per_locale == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: workers_per_locale == 0 (each locale needs at "
+        "least one worker)");
+  }
+  if (config.max_pids == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: max_pids == 0 (privatization needs PID slots)");
+  }
+  return config;
+}
+}  // namespace
+
 Cluster::Cluster(ClusterConfig config)
-    : comm_(config.num_locales),
+    : comm_(validated(config).num_locales),
       priv_(config.num_locales, config.max_pids) {
   locales_.reserve(config.num_locales);
   for (std::uint32_t l = 0; l < config.num_locales; ++l) {
@@ -18,6 +43,11 @@ Cluster::Cluster(ClusterConfig config)
   }
   pool_ = std::make_unique<TaskPool>(*this, config.num_locales,
                                      config.workers_per_locale);
+}
+
+void Cluster::set_fault_plan(FaultPlan* plan) noexcept {
+  fault_plan_.store(plan, std::memory_order_release);
+  comm_.set_fault_plan(plan);
 }
 
 std::uint32_t Cluster::here() const noexcept {

@@ -55,6 +55,8 @@ struct ClusterConfig {
   std::uint32_t max_pids = PrivatizationRegistry::kDefaultMaxPids;
 };
 
+class FaultPlan;
+
 /// The simulated cluster: the substrate standing in for Chapel's multi-
 /// locale execution. Owns the locales, the communication layer, the
 /// privatization registry and the tasking layer, and provides the
@@ -63,6 +65,8 @@ struct ClusterConfig {
 /// and `coforall_tasks` (a task team per locale, join).
 class Cluster {
  public:
+  /// Throws std::invalid_argument on a degenerate config
+  /// (num_locales == 0 or workers_per_locale == 0).
   explicit Cluster(ClusterConfig config);
   ~Cluster() = default;
   Cluster(const Cluster&) = delete;
@@ -100,11 +104,26 @@ class Cluster {
   void coforall_tasks(std::uint32_t tasks_per_locale,
                       const std::function<void(std::uint32_t, std::uint32_t)>& fn);
 
+  // -- Chaos injection ---------------------------------------------------
+
+  /// Installs a fault plan consulted by the runtime's chaos hooks (the
+  /// comm layer, the task pool, and RCUArray's read/replication paths);
+  /// nullptr clears. Pool workers consult the plan between tasks, so the
+  /// plan must outlive the Cluster (whose destructor joins them):
+  /// clearing is a plain pointer store and does NOT wait for in-flight
+  /// consultations. Declare the plan before the Cluster.
+  void set_fault_plan(FaultPlan* plan) noexcept;
+
+  [[nodiscard]] FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.load(std::memory_order_acquire);
+  }
+
  private:
   std::vector<std::unique_ptr<Locale>> locales_;
   CommLayer comm_;
   PrivatizationRegistry priv_;
   std::unique_ptr<TaskPool> pool_;
+  std::atomic<FaultPlan*> fault_plan_{nullptr};
 };
 
 }  // namespace rcua::rt

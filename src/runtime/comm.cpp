@@ -1,5 +1,6 @@
 #include "runtime/comm.hpp"
 
+#include "runtime/fault_plan.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
 
@@ -22,6 +23,13 @@ void CommLayer::record_execute(std::uint32_t src, std::uint32_t dst) noexcept {
   if (src == dst) return;
   stats_[src].value.executes.fetch_add(1, std::memory_order_relaxed);
   sim::charge(sim::CostModel::get().remote_execute_ns);
+  if (FaultPlan* plan = fault_plan_.load(std::memory_order_acquire)) {
+    std::uint64_t delay = 0;
+    if (plan->fires(FaultPlan::Action::kSlowRemote, dst, &delay) &&
+        delay != 0) {
+      sim::charge(static_cast<double>(delay));
+    }
+  }
 }
 
 std::uint64_t CommLayer::gets(std::uint32_t locale) const noexcept {

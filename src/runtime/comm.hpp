@@ -8,6 +8,8 @@
 
 namespace rcua::rt {
 
+class FaultPlan;
+
 /// Per-locale communication counters. In Chapel these PUT/GET operations
 /// happen behind the scenes; the counters make the "behind the scenes"
 /// observable — tests assert on locality properties (e.g. RCUArray
@@ -57,8 +59,16 @@ class CommLayer {
     return static_cast<std::uint32_t>(stats_.size());
   }
 
+  /// Chaos hook: a kSlowRemote rule matching the *destination* locale
+  /// charges extra virtual time on each remote execute targeting it.
+  /// Installed via Cluster::set_fault_plan.
+  void set_fault_plan(FaultPlan* plan) noexcept {
+    fault_plan_.store(plan, std::memory_order_release);
+  }
+
  private:
   std::vector<plat::CacheAligned<CommStats>> stats_;
+  std::atomic<FaultPlan*> fault_plan_{nullptr};
 };
 
 }  // namespace rcua::rt

@@ -1,0 +1,56 @@
+#include "runtime/fault_plan.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "sim/task_clock.hpp"
+#include "testing/sched_point.hpp"
+
+namespace rcua::rt {
+
+bool FaultPlan::fires(Action action, std::uint32_t locale,
+                      std::uint64_t* delay_ns) {
+  if (delay_ns != nullptr) *delay_ns = 0;
+  std::lock_guard<plat::Spinlock> guard(mu_);
+  ++stats_.consulted;
+  bool fired = false;
+  for (RuleState& rs : rules_) {
+    const Rule& r = rs.rule;
+    if (r.action != action) continue;
+    if (r.locale != kAnyLocale && r.locale != locale) continue;
+    const std::uint64_t hit = ++rs.hits;
+    if (hit < r.fire_from) continue;
+    if (r.fire_count != UINT64_MAX && hit >= r.fire_from + r.fire_count) {
+      continue;
+    }
+    if (r.probability < 1.0) {
+      // Seeded coin: deterministic per (seed, consultation order).
+      if (rng_.next_double() >= r.probability) continue;
+    }
+    fired = true;
+    if (delay_ns != nullptr && r.delay_ns != 0) *delay_ns = r.delay_ns;
+  }
+  if (fired) ++stats_.fired[static_cast<int>(action)];
+  return fired;
+}
+
+void FaultPlan::stall_here(std::uint32_t locale) {
+  std::uint64_t delay = 0;
+  if (!fires(Action::kStallReader, locale, &delay)) return;
+#if defined(RCUA_SCHED_TEST) && RCUA_SCHED_TEST
+  if (testing::sched_task_active()) {
+    // Deterministic stall: hand control to the scheduler a bounded
+    // number of times so other tasks can interleave with the stalled
+    // read section; wall clocks would break seed replay.
+    for (int i = 0; i < 8; ++i) RCUA_SCHED_POINT("fault.stall_reader");
+    sim::charge(static_cast<double>(delay));
+    return;
+  }
+#endif
+  if (delay != 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    sim::charge(static_cast<double>(delay));
+  }
+}
+
+}  // namespace rcua::rt

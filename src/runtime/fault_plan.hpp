@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "platform/spinlock.hpp"
+
+namespace rcua::rt {
+
+/// Deterministic, seeded fault injection for the simulated cluster — the
+/// chaos layer that proves the stall-tolerant reclamation actually
+/// tolerates stalls. A plan is a set of rules; runtime hooks consult the
+/// plan at well-defined sites (read-side critical sections, worker loop
+/// tops, remote executes, privatization broadcasts) and a rule *fires*
+/// on a chosen window of matching consultations:
+///
+///   fire_from  — 1-based consultation index where firing starts,
+///   fire_count — how many consecutive consultations fire (UINT64_MAX =
+///                forever),
+///   probability — an extra seeded coin on top of the window (1.0 =
+///                always), so stochastic chaos stays replayable per seed.
+///
+/// Consultation counting is per rule and only counts consultations whose
+/// locale matches the rule's filter, so "kill the 3rd worker wake on
+/// locale 1" is expressible and deterministic. Under the sched harness,
+/// hooks consult in logical-task order, so seeds replay there too.
+///
+/// Thread-safe; hooks are wait-free except for a short spinlock hold.
+class FaultPlan {
+ public:
+  static constexpr std::uint32_t kAnyLocale = UINT32_MAX;
+
+  enum class Action : int {
+    /// Stall a task mid-read-section (consulted by RCUArray's index
+    /// path inside the EBR/QSBR critical window).
+    kStallReader = 0,
+    /// Kill a TaskPool worker: it drains its queue to overflow threads
+    /// and exits, as if the underlying thread died.
+    kKillWorker = 1,
+    /// Slow a locale's remote executes: CommLayer::record_execute
+    /// charges `delay_ns` of extra virtual time for matching targets.
+    kSlowRemote = 2,
+    /// Drop one locale's privatization broadcast step: RCUArray's
+    /// resize replication skips that locale and must retry.
+    kDropBroadcast = 3,
+  };
+  static constexpr int kNumActions = 4;
+
+  struct Rule {
+    Action action = Action::kStallReader;
+    /// Locale filter (kAnyLocale matches everywhere).
+    std::uint32_t locale = kAnyLocale;
+    std::uint64_t fire_from = 1;
+    std::uint64_t fire_count = 1;
+    double probability = 1.0;
+    /// Stall/slowdown duration for kStallReader / kSlowRemote.
+    std::uint64_t delay_ns = 0;
+  };
+
+  explicit FaultPlan(std::uint64_t seed = 0x0defacedULL) noexcept
+      : rng_(seed) {}
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  FaultPlan& add(const Rule& rule) {
+    std::lock_guard<plat::Spinlock> guard(mu_);
+    rules_.push_back(RuleState{rule, 0});
+    return *this;
+  }
+
+  /// Consults every rule for `action` at `locale`; returns true when one
+  /// fires. When `delay_ns` is non-null it receives the firing rule's
+  /// delay (0 when none fired).
+  bool fires(Action action, std::uint32_t locale,
+             std::uint64_t* delay_ns = nullptr);
+
+  /// Actuates a kStallReader fault for the calling task: when a rule
+  /// fires, stalls for its delay — a bounded loop of schedule points
+  /// under the deterministic scheduler, a real sleep plus a virtual-time
+  /// charge otherwise. Call inside a read-side critical section.
+  void stall_here(std::uint32_t locale);
+
+  struct Stats {
+    std::uint64_t consulted = 0;
+    std::uint64_t fired[kNumActions] = {0, 0, 0, 0};
+  };
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<plat::Spinlock> guard(mu_);
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t fired(Action action) const {
+    std::lock_guard<plat::Spinlock> guard(mu_);
+    return stats_.fired[static_cast<int>(action)];
+  }
+
+ private:
+  struct RuleState {
+    Rule rule;
+    std::uint64_t hits;
+  };
+
+  mutable plat::Spinlock mu_;
+  std::vector<RuleState> rules_;
+  plat::Xoshiro256 rng_;
+  Stats stats_;
+};
+
+}  // namespace rcua::rt

@@ -1,5 +1,7 @@
 #include "runtime/task_pool.hpp"
 
+#include "runtime/cluster.hpp"
+#include "runtime/fault_plan.hpp"
 #include "runtime/this_task.hpp"
 #include "runtime/thread_registry.hpp"
 
@@ -95,6 +97,22 @@ void TaskPool::worker_main(std::uint32_t locale, std::uint32_t worker_id) {
   ThreadRegistry::global().local_record();  // register with the TLSList
   LocaleQueue& q = *queues_[locale];
   for (;;) {
+    // Chaos hook: an injected kKillWorker fault makes this worker die as
+    // a crashed thread would — except queued tasks are handed to
+    // overflow threads first, so submitted work still completes and no
+    // Group::wait hangs on a task nobody will run.
+    if (FaultPlan* plan = cluster_.fault_plan();
+        plan != nullptr &&
+        plan->fires(FaultPlan::Action::kKillWorker, locale)) {
+      std::deque<Task> orphaned;
+      {
+        std::lock_guard<std::mutex> guard(q.mu);
+        orphaned.swap(q.tasks);
+      }
+      killed_workers_.fetch_add(1, std::memory_order_relaxed);
+      for (Task& t : orphaned) run_overflow(locale, std::move(t));
+      return;
+    }
     Task task;
     {
       std::unique_lock<std::mutex> lock(q.mu);

@@ -71,6 +71,14 @@ class TaskPool {
     return overflow_tasks_.load(std::memory_order_relaxed);
   }
 
+  /// Workers killed by an injected kKillWorker fault (chaos layer). A
+  /// killed worker hands its queued tasks to overflow threads before
+  /// exiting, so submitted work always completes — the pool degrades to
+  /// overflow-thread execution rather than hanging a Group::wait.
+  [[nodiscard]] std::uint64_t killed_workers() const noexcept {
+    return killed_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct LocaleQueue {
     std::mutex mu;
@@ -88,6 +96,7 @@ class TaskPool {
   std::vector<std::unique_ptr<LocaleQueue>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> overflow_tasks_{0};
+  std::atomic<std::uint64_t> killed_workers_{0};
   // Overflow threads are detached-with-join-tracking: each registers here
   // and the destructor waits for all of them.
   std::mutex overflow_mu_;

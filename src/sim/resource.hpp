@@ -21,6 +21,13 @@ namespace rcua::sim {
 ///
 /// The CAS loop makes the reservation linearizable across real threads, so
 /// the model composes with genuinely concurrent execution.
+///
+/// Bookings are ABSOLUTE virtual times and the ownership token is the
+/// attached TaskClock's identity, so a resource is only meaningful within
+/// one virtual timeline: every clock that touches it must share a zero
+/// point. Measuring repeated regions against fresh clocks (each restarting
+/// at t=0) compares new clocks against stale bookings — use one clock and
+/// take deltas, or reset() the resource at region boundaries.
 class VirtualResource {
  public:
   VirtualResource() = default;

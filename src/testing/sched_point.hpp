@@ -76,6 +76,12 @@ struct Mutations {
   /// minimum observed epoch over all participants (Algorithm 2 lines
   /// 6-8).
   bool qsbr_ignore_min = false;
+  /// Watchdog: OverflowRetireList::flush_ready gates each deferred entry
+  /// on its own retire parity alone instead of requiring both reader
+  /// columns observed empty since the push. Plausible (it mirrors the
+  /// blocking drain) but unsound: a timed-out grace period means a
+  /// stalled reader on the *other* parity may hold the entry.
+  bool watchdog_skip_recheck = false;
 };
 [[nodiscard]] Mutations& mutations() noexcept;
 

@@ -7,8 +7,10 @@
 
 namespace rcua::util {
 
-/// Reads environment variable `name` as a u64; returns `fallback` when the
-/// variable is unset or unparsable.
+/// Reads environment variable `name` as a u64; returns `fallback` when
+/// the variable is unset or unparsable. Malformed or overflowing values
+/// (e.g. RCUA_EBR_STRIPES=abc, "12junk", "-3", 2^70) never throw: they
+/// warn once per variable to stderr and fall back.
 std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 
 /// Reads environment variable `name` as a double.
@@ -26,5 +28,10 @@ std::vector<std::uint64_t> env_u64_list(const char* name,
 
 /// Raw accessor; empty optional when unset.
 std::optional<std::string> env_str(const char* name);
+
+/// Total malformed-value warnings emitted so far (observability for the
+/// bad-input tests). Each distinct variable name warns to stderr at most
+/// once per process; this counter increments once per emitted warning.
+std::uint64_t env_parse_warnings() noexcept;
 
 }  // namespace rcua::util

@@ -210,11 +210,16 @@ TEST_F(ChargingTest, ChapelResizeCostGrowsWithExistingData) {
 TEST_F(ChargingTest, RcuResizeCostIndependentOfExistingData) {
   rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 2});
   RCUArray<std::uint64_t, QsbrPolicy> arr(cluster, 0, {.block_size = 64});
+  // One clock for every round: VirtualResource bookings (the write lock's
+  // word) are absolute virtual times, only meaningful within a single
+  // timeline — fresh per-round clocks would compare t=0 against the
+  // previous round's bookings (see sim/resource.hpp).
+  sim::TaskClock clock;
+  sim::ClockScope scope(clock);
   auto resize_cost = [&] {
-    sim::TaskClock clock;
-    sim::ClockScope scope(clock);
+    const auto before = clock.vtime_ns;
     arr.resize_add(64);
-    return clock.vtime_ns;
+    return clock.vtime_ns - before;
   };
   const auto first = resize_cost();
   for (int i = 0; i < 20; ++i) resize_cost();

@@ -8,6 +8,9 @@
 #include <thread>
 
 #include "reclaim/ebr.hpp"
+#include "reclaim/qsbr.hpp"
+#include "reclaim/stall_monitor.hpp"
+#include "runtime/thread_registry.hpp"
 
 namespace reclaim = rcua::reclaim;
 
@@ -134,6 +137,136 @@ TEST(FaultInjection, OverflowPlusInjectedRacesStayBalanced) {
   if constexpr (reclaim::BasicEbr<std::uint8_t>::kStatsEnabled) {
     EXPECT_GT(ebr.stats().read_retries, 0u);
   }
+}
+
+// -- QSBR checkpoint/park hooks (the EBR-style windows, Algorithm 2) ----
+
+namespace {
+std::atomic<int> qsbr_phase_hits[4];
+
+void count_qsbr_phase(rcua::reclaim::Qsbr&, int phase) {
+  qsbr_phase_hits[phase].fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TEST(FaultInjection, QsbrHookFiresAtCheckpointAndParkWindows) {
+  for (auto& h : qsbr_phase_hits) h.store(0);
+  rcua::rt::ThreadRegistry registry;
+  reclaim::Qsbr qsbr(registry);
+  qsbr.test_hook = &count_qsbr_phase;
+
+  qsbr.checkpoint();
+  EXPECT_EQ(qsbr_phase_hits[reclaim::Qsbr::kHookCheckpointEpochRead].load(),
+            1);
+  EXPECT_EQ(qsbr_phase_hits[reclaim::Qsbr::kHookCheckpointObserved].load(),
+            1);
+  qsbr.park();
+  qsbr.unpark();
+  EXPECT_EQ(qsbr_phase_hits[reclaim::Qsbr::kHookPark].load(), 1);
+  EXPECT_EQ(qsbr_phase_hits[reclaim::Qsbr::kHookUnpark].load(), 1);
+}
+
+TEST(FaultInjection, QsbrHookCanMoveTheEpochInsideTheCheckpointWindow) {
+  // Drive the checkpoint's race window for real: between the StateEpoch
+  // read (line 4) and the observation store (line 5) another "thread"
+  // bumps the epoch by deferring. The checkpoint must store the *stale*
+  // observation (that is what it read), and the deferred node must NOT
+  // be reclaimed by this checkpoint — the observer's promise predates
+  // the defer.
+  static std::atomic<int> fired;
+  static std::atomic<bool> node_freed;
+  fired.store(0);
+  node_freed.store(false);
+  rcua::rt::ThreadRegistry registry;
+  reclaim::Qsbr qsbr(registry);
+  qsbr.test_hook = [](reclaim::Qsbr& q, int phase) {
+    if (phase != reclaim::Qsbr::kHookCheckpointEpochRead) return;
+    if (fired.fetch_add(1) != 0) return;  // inject only once
+    q.defer_fn([](void*) { node_freed.store(true); }, nullptr);
+  };
+  qsbr.checkpoint();
+  // The injected defer ran on this same thread, so its own safe epoch
+  // was observed by the defer itself; but the checkpoint's min-scan used
+  // the pre-defer observation — the node survives this checkpoint.
+  EXPECT_FALSE(node_freed.load());
+  qsbr.checkpoint();  // a fresh checkpoint observes the new state
+  EXPECT_TRUE(node_freed.load());
+}
+
+TEST(FaultInjection, ParkWhileAnnouncedStallsTheDrainAndIsDiagnosed) {
+  // The "park-while-announced" stall window: a thread parks (goes idle
+  // in the registry) while still ANNOUNCED in an EBR read-side section.
+  // Parking must not erase the announcement — the drain has to keep
+  // waiting (safety) — and the deadline-bounded drain must name the
+  // stuck stripe for the watchdog.
+  reclaim::Ebr ebr(0, /*stripe_count=*/4);
+  rcua::rt::ThreadRegistry registry;
+  reclaim::Qsbr qsbr(registry);
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread stuck([&] {
+    ebr.test_stripe_override = 3;
+    reclaim::Ebr::ReadGuard guard(ebr);  // announced on stripe 3
+    qsbr.park();                         // ... then parks, still announced
+    parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+    qsbr.unpark();
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  reclaim::StallPolicy policy;
+  policy.deadline_ns = 500 * 1000;  // 0.5 ms
+  policy.park_ns = 20 * 1000;
+  const auto old_epoch = ebr.advance_epoch();
+  const reclaim::DrainResult drain =
+      ebr.try_wait_for_readers(old_epoch, policy);
+  EXPECT_FALSE(drain.drained) << "parking must not fake an EBR retraction";
+  EXPECT_EQ(drain.stuck_stripe, 3u);
+  EXPECT_EQ(drain.stuck_readers, 1u);
+
+  release.store(true);
+  stuck.join();
+  ebr.wait_for_readers(old_epoch);  // drains now that the guard dropped
+  SUCCEED();
+}
+
+TEST(FaultInjection, CheckpointNeverReachedTimesOutNamingTheLaggard) {
+  // The "checkpoint-never-reached" stall window, on an isolated registry
+  // so only this test's threads participate: a thread that defers (and
+  // so observed an old state) but never checkpoints again gates every
+  // try_synchronize until it does.
+  rcua::rt::ThreadRegistry registry;
+  reclaim::Qsbr qsbr(registry);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::thread laggard([&] {
+    qsbr.ensure_participant();
+    entered.store(true);
+    while (!release.load()) std::this_thread::yield();
+    qsbr.checkpoint();  // the checkpoint that finally unblocks the world
+  });
+  while (!entered.load()) std::this_thread::yield();
+
+  reclaim::StallPolicy policy;
+  policy.deadline_ns = 500 * 1000;  // 0.5 ms
+  policy.park_ns = 20 * 1000;
+  const auto first = qsbr.try_synchronize(policy);
+  EXPECT_FALSE(first.quiesced);
+  EXPECT_GE(first.laggards, 1u);
+  ASSERT_NE(first.laggard, nullptr);
+  EXPECT_LT(first.laggard_observed, first.target_epoch);
+
+  // scan_laggards is the watchdog's detection surface: it must agree.
+  const auto report = qsbr.scan_laggards(first.target_epoch);
+  EXPECT_GE(report.count, 1u);
+
+  release.store(true);
+  laggard.join();
+  const auto second = qsbr.try_synchronize(policy);
+  EXPECT_TRUE(second.quiesced)
+      << "the laggard checkpointed (and parked on exit); nothing gates now";
 }
 
 TEST(FaultInjection, GuardAlsoRetriesUnderInjectedRace) {

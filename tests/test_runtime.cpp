@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,6 +36,32 @@ TEST(ThisTask, LocaleScopeSetsAndRestores) {
   }
   EXPECT_EQ(rt::this_task().cluster, nullptr);
   EXPECT_EQ(cluster.here(), 0u);
+}
+
+TEST(Cluster, RejectsZeroLocales) {
+  EXPECT_THROW(rt::Cluster({.num_locales = 0, .workers_per_locale = 2}),
+               std::invalid_argument);
+}
+
+TEST(Cluster, RejectsZeroWorkersPerLocale) {
+  EXPECT_THROW(rt::Cluster({.num_locales = 2, .workers_per_locale = 0}),
+               std::invalid_argument);
+}
+
+TEST(Cluster, RejectsZeroMaxPids) {
+  rt::ClusterConfig config;
+  config.max_pids = 0;
+  EXPECT_THROW(rt::Cluster{config}, std::invalid_argument);
+}
+
+TEST(Cluster, ValidationErrorNamesTheField) {
+  try {
+    rt::Cluster cluster({.num_locales = 0, .workers_per_locale = 1});
+    FAIL() << "num_locales == 0 must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("num_locales"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Cluster, ConstructionExposesConfiguredShape) {

@@ -70,6 +70,67 @@ TEST(Env, U64ListSkipsGarbageElements) {
   EXPECT_EQ(v[1], 4u);
 }
 
+TEST(Env, U64RejectsTrailingGarbage) {
+  // "12junk" must NOT silently parse as 12 — partial parses are the
+  // classic stoull footgun this layer hardens away.
+  EnvGuard g("RCUA_TEST_U64_TRAIL", "12junk");
+  EXPECT_EQ(util::env_u64("RCUA_TEST_U64_TRAIL", 5), 5u);
+}
+
+TEST(Env, U64RejectsNegative) {
+  // stoull would wrap "-1" to 2^64-1; the hardened parser refuses signs.
+  EnvGuard g("RCUA_TEST_U64_NEG", "-1");
+  EXPECT_EQ(util::env_u64("RCUA_TEST_U64_NEG", 5), 5u);
+}
+
+TEST(Env, U64RejectsOverflow) {
+  EnvGuard g("RCUA_TEST_U64_OVER", "99999999999999999999999999");  // > 2^64
+  EXPECT_EQ(util::env_u64("RCUA_TEST_U64_OVER", 5), 5u);
+}
+
+TEST(Env, U64RejectsEmptyAndWhitespace) {
+  {
+    EnvGuard g("RCUA_TEST_U64_EMPTY", "");
+    EXPECT_EQ(util::env_u64("RCUA_TEST_U64_EMPTY", 5), 5u);
+  }
+  {
+    EnvGuard g("RCUA_TEST_U64_WS", "   ");
+    EXPECT_EQ(util::env_u64("RCUA_TEST_U64_WS", 5), 5u);
+  }
+  {
+    // Surrounding whitespace around a valid number is tolerated.
+    EnvGuard g("RCUA_TEST_U64_PAD", "  42  ");
+    EXPECT_EQ(util::env_u64("RCUA_TEST_U64_PAD", 5), 42u);
+  }
+}
+
+TEST(Env, MalformedValuesWarnOncePerVariable) {
+  const std::uint64_t before = util::env_parse_warnings();
+  EnvGuard g("RCUA_TEST_WARN_ONCE", "garbage");
+  util::env_u64("RCUA_TEST_WARN_ONCE", 1);
+  util::env_u64("RCUA_TEST_WARN_ONCE", 1);
+  util::env_u64("RCUA_TEST_WARN_ONCE", 1);
+  EXPECT_EQ(util::env_parse_warnings(), before + 1)
+      << "three bad reads of one variable must warn exactly once";
+  EnvGuard h("RCUA_TEST_WARN_TWICE", "also-garbage");
+  util::env_u64("RCUA_TEST_WARN_TWICE", 1);
+  EXPECT_EQ(util::env_parse_warnings(), before + 2)
+      << "a distinct variable gets its own warning";
+}
+
+TEST(Env, F64RejectsTrailingGarbage) {
+  EnvGuard g("RCUA_TEST_F64_TRAIL", "2.5x");
+  EXPECT_DOUBLE_EQ(util::env_f64("RCUA_TEST_F64_TRAIL", 1.0), 1.0);
+}
+
+TEST(Env, BoolWarnsOnUnrecognizedToken) {
+  const std::uint64_t before = util::env_parse_warnings();
+  EnvGuard g("RCUA_TEST_BOOL_BAD", "maybe");
+  EXPECT_TRUE(util::env_bool("RCUA_TEST_BOOL_BAD", true));
+  EXPECT_FALSE(util::env_bool("RCUA_TEST_BOOL_BAD", false));
+  EXPECT_EQ(util::env_parse_warnings(), before + 1);
+}
+
 TEST(Env, U64ListFallsBackWhenUnsetOrEmpty) {
   const auto v = util::env_u64_list("RCUA_TEST_LIST_UNSET", {5, 6});
   ASSERT_EQ(v.size(), 2u);
