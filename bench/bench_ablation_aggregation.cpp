@@ -1,0 +1,155 @@
+// Ablation: destination-aggregated bulk operations (DESIGN.md §9).
+//
+// The element API pays one recorded GET per remote element; the bulk API
+// resolves the snapshot once, partitions the range by owning locale, and
+// ships each destination's spans as ONE remote execution per flush. This
+// bench sweeps the aggregation buffer capacity against an elementwise
+// baseline across three locality skews, reporting communication volume
+// (GETs / PUTs / remote executes — deterministic, gated by
+// scripts/check_bench_gate.py) next to virtual-time throughput.
+//
+//   skew=local  : each round reads one block owned by the task's locale
+//                 (aggregation has nothing to do; both sides are free)
+//   skew=remote : each round reads one block owned by another locale
+//   skew=mixed  : each round scans the whole array (every destination,
+//                 several spans per destination, so buffer capacity
+//                 decides how many flushes each scan costs)
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace rcua::bench;
+
+enum class Skew { kLocal, kMixed, kRemote };
+
+const char* skew_name(Skew s) {
+  switch (s) {
+    case Skew::kLocal: return "local";
+    case Skew::kMixed: return "mixed";
+    default: return "remote";
+  }
+}
+
+struct CommTotals {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t executes = 0;
+};
+
+/// One configuration: `cap` == 0 is the elementwise read() baseline,
+/// otherwise the bulk path with that aggregation buffer capacity.
+/// Returns throughput (elements/s); fills `out` with the comm counters
+/// of the measured region (deterministic for a fixed env).
+double run_cfg(const Params& p, std::uint32_t num_locales, Skew skew,
+               std::size_t cap, CommTotals* out,
+               std::uint64_t* out_elems) {
+  rcua::rt::Cluster cluster(
+      {.num_locales = num_locales,
+       .workers_per_locale = p.tasks_per_locale + 2});
+  auto arr = QsbrArrayImpl::make(cluster, p.array_elems, p.block_size);
+  const std::uint64_t bs = p.block_size;
+  const std::uint64_t nblocks = p.array_elems / bs;
+  const std::uint64_t own_blocks = nblocks / num_locales;
+  const std::uint64_t rounds =
+      p.ops_per_task / bs > 0 ? p.ops_per_task / bs : 1;
+  const std::uint64_t elems_per_round =
+      skew == Skew::kMixed ? nblocks * bs : bs;
+  const std::uint64_t total_elems = static_cast<std::uint64_t>(num_locales) *
+                                    p.tasks_per_locale * rounds *
+                                    elems_per_round;
+
+  // Construction resizes record executes of their own; measure from a
+  // clean slate so the gated counters cover exactly the workload.
+  cluster.comm().reset();
+  const double tput = measure_tasks(
+      cluster, p.tasks_per_locale, total_elems, p.wallclock,
+      [&](std::uint32_t l, std::uint32_t t) {
+        const std::uint64_t gid =
+            static_cast<std::uint64_t>(l) * p.tasks_per_locale + t;
+        rcua::plat::Xoshiro256 rng(rcua::plat::mix64(p.seed ^ (gid + 1)));
+        std::vector<std::uint64_t> scratch(elems_per_round);
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          std::uint64_t first = 0;
+          if (skew == Skew::kLocal) {
+            // A block whose round-robin owner is this locale.
+            first = (l + num_locales * rng.next_below(own_blocks)) * bs;
+          } else if (skew == Skew::kRemote) {
+            const std::uint64_t o =
+                (l + 1 + rng.next_below(num_locales - 1)) % num_locales;
+            first = (o + num_locales * rng.next_below(own_blocks)) * bs;
+          }
+          if (cap == 0) {
+            for (std::uint64_t i = 0; i < elems_per_round; ++i) {
+              scratch[i] = arr->read(first + i);
+            }
+          } else {
+            arr->bulk_read(first, elems_per_round, scratch.data(),
+                           {.buffer_capacity = cap});
+          }
+        }
+      });
+
+  out->gets = cluster.comm().total_gets();
+  out->puts = cluster.comm().total_puts();
+  out->executes = cluster.comm().total_executes();
+  *out_elems = total_elems;
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+  return tput;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcua::bench;
+  Params p = Params::from_env(
+      {.ops_per_task = 2048, .array_elems = 1ULL << 14});
+  p.print_banner(
+      "Ablation: destination-aggregated bulk ops (8 locales)",
+      "(not a paper figure) buffer-size sweep x locality skew; "
+      "copy-aggregation per Dewan & Jenkins, arXiv:2112.00068",
+      "comm volume drops from O(elements) GETs to O(blocks) executes; "
+      "larger buffers halve flushes on whole-array scans; throughput "
+      "must beat elementwise even at buffer capacity 1");
+
+  const std::uint32_t kLocales = 8;
+  if (p.array_elems / p.block_size < kLocales) {
+    std::fprintf(stderr,
+                 "need at least %u blocks (RCUA_ARRAY_ELEMS / "
+                 "RCUA_BLOCK_SIZE) so every locale owns one\n",
+                 kLocales);
+    return 1;
+  }
+  // cap == 0 is the elementwise baseline; the rest sweep the aggregator.
+  const std::size_t caps[] = {0, 1, 256, 4096, 16384};
+  rcua::util::Table table(
+      {"skew", "impl", "tput", "gets", "puts", "executes"});
+  for (const Skew skew : {Skew::kLocal, Skew::kMixed, Skew::kRemote}) {
+    for (const std::size_t cap : caps) {
+      CommTotals c;
+      std::uint64_t elems = 0;
+      const double tput = run_cfg(p, kLocales, skew, cap, &c, &elems);
+      const std::string impl =
+          cap == 0 ? "elementwise" : "bulk-cap" + std::to_string(cap);
+      table.add_row({skew_name(skew), impl, rcua::util::Table::num(tput),
+                     std::to_string(c.gets), std::to_string(c.puts),
+                     std::to_string(c.executes)});
+      // Machine-readable comm counters for the bench-json pipeline and
+      // the deterministic CI gate (scripts/check_bench_gate.py).
+      std::printf(
+          "comm_stat skew=%s impl=%s cap=%zu gets=%llu puts=%llu "
+          "executes=%llu elems=%llu\n",
+          skew_name(skew), impl.c_str(), cap,
+          static_cast<unsigned long long>(c.gets),
+          static_cast<unsigned long long>(c.puts),
+          static_cast<unsigned long long>(c.executes),
+          static_cast<unsigned long long>(elems));
+    }
+    std::printf("... skew=%s done\n", skew_name(skew));
+  }
+  std::printf("\nthroughput (elements/sec) and comm volume:\n");
+  table.print(std::cout);
+  std::printf("\ncsv:\n");
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Gate CI on the deterministic counters in a BENCH_<timestamp>.json.
+
+The simulated cluster makes communication volume a *deterministic*
+function of the workload: for a fixed RCUA_* environment, the comm_stat
+counters (gets / puts / remote executes) and the bench_stat `reads`
+totals must be bit-identical run to run, on any machine. This script
+compares a fresh bench-json artifact against the committed baseline
+(bench/baselines/smoke.json) and fails on any drift in those counters —
+a changed GET count is a protocol change, intended or not, and must be
+acknowledged by refreshing the baseline in the same commit.
+
+Genuinely nondeterministic signals are not load-bearing:
+  - EBR read retries depend on thread interleaving; they only fail the
+    gate on a blow-up (>10x baseline and >1000 absolute), which in
+    practice means a read-side livelock regression, not scheduler noise.
+  - epoch advances and wall/elapsed times are reported but never fatal.
+
+Usage:
+    python3 scripts/check_bench_gate.py \
+        --baseline bench/baselines/smoke.json \
+        --current build/BENCH_*.json
+
+Refresh the baseline after an intended protocol change with:
+    cmake --build build --target bench-json
+    cp build/BENCH_<timestamp>.json bench/baselines/smoke.json
+"""
+
+import argparse
+import glob
+import json
+import sys
+
+# comm_stat fields that are pure outcomes; everything else in the entry
+# (skew, impl, cap, elems, ...) identifies the configuration.
+COMM_COUNTERS = ("gets", "puts", "executes")
+
+RETRY_FACTOR = 10
+RETRY_SLACK = 1000
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def comm_key(entry):
+    return tuple(
+        sorted((k, v) for k, v in entry.items() if k not in COMM_COUNTERS)
+    )
+
+
+def check_comm_stats(bench, base, cur, failures):
+    base_by_key = {comm_key(e): e for e in base}
+    cur_by_key = {comm_key(e): e for e in cur}
+    for key, b in base_by_key.items():
+        c = cur_by_key.get(key)
+        label = " ".join(f"{k}={v}" for k, v in key)
+        if c is None:
+            failures.append(
+                f"{bench}: config [{label}] present in baseline but "
+                f"missing from the current run (workload or env changed?)"
+            )
+            continue
+        for counter in COMM_COUNTERS:
+            if b.get(counter) != c.get(counter):
+                failures.append(
+                    f"{bench}: [{label}] {counter} changed "
+                    f"{b.get(counter)} -> {c.get(counter)}"
+                )
+    for key in cur_by_key.keys() - base_by_key.keys():
+        label = " ".join(f"{k}={v}" for k, v in key)
+        failures.append(
+            f"{bench}: config [{label}] in the current run has no "
+            f"baseline entry (new config? refresh the baseline)"
+        )
+
+
+def check_bench_stats(bench, base, cur, failures, warnings):
+    base_by_key = {(e["impl"], e["locales"]): e for e in base}
+    cur_by_key = {(e["impl"], e["locales"]): e for e in cur}
+    for key, b in base_by_key.items():
+        c = cur_by_key.get(key)
+        impl, locales = key
+        label = f"impl={impl} locales={locales}"
+        if c is None:
+            failures.append(
+                f"{bench}: bench_stat [{label}] missing from current run"
+            )
+            continue
+        if b["reads"] != c["reads"]:
+            failures.append(
+                f"{bench}: [{label}] reads changed "
+                f"{b['reads']} -> {c['reads']} (workload drift)"
+            )
+        limit = max(b["retries"] * RETRY_FACTOR, b["retries"] + RETRY_SLACK)
+        if c["retries"] > limit:
+            failures.append(
+                f"{bench}: [{label}] read retries blew up "
+                f"{b['retries']} -> {c['retries']} (limit {limit})"
+            )
+        if b["epoch_advances"] != c["epoch_advances"]:
+            warnings.append(
+                f"{bench}: [{label}] epoch_advances "
+                f"{b['epoch_advances']} -> {c['epoch_advances']} "
+                f"(nondeterministic; informational)"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument(
+        "--current",
+        nargs="+",
+        required=True,
+        help="BENCH json path(s)/glob; the lexically newest match is used",
+    )
+    args = ap.parse_args()
+
+    candidates = []
+    for pat in args.current:
+        candidates.extend(glob.glob(pat) or [pat])
+    candidates = sorted(set(candidates))
+    if not candidates:
+        sys.exit("error: --current matched no files")
+    current_path = candidates[-1]
+
+    baseline = load(args.baseline)
+    current = load(current_path)
+    print(f"[bench-gate] baseline {args.baseline} "
+          f"(rev {baseline['meta'].get('git_rev', '?')[:12]})")
+    print(f"[bench-gate] current  {current_path} "
+          f"(rev {current['meta'].get('git_rev', '?')[:12]})")
+
+    base_env = baseline["meta"].get("env", {})
+    cur_env = current["meta"].get("env", {})
+    if base_env != cur_env:
+        print(
+            f"[bench-gate] WARNING: RCUA_* env differs from baseline\n"
+            f"  baseline: {base_env}\n  current:  {cur_env}\n"
+            f"  counter mismatches below may just reflect that.",
+            file=sys.stderr,
+        )
+
+    failures = []
+    warnings = []
+    for bench, b in baseline.get("results", {}).items():
+        if "error" in b:
+            continue
+        c = current.get("results", {}).get(bench)
+        if c is None:
+            failures.append(f"{bench}: present in baseline, not run now")
+            continue
+        if c.get("returncode", 0) != 0:
+            failures.append(
+                f"{bench}: exited with rc={c.get('returncode')}"
+            )
+            continue
+        check_comm_stats(
+            bench, b.get("comm_stats") or [], c.get("comm_stats") or [],
+            failures,
+        )
+        check_bench_stats(
+            bench, b.get("bench_stats") or [], c.get("bench_stats") or [],
+            failures, warnings,
+        )
+        be, ce = b.get("elapsed_s"), c.get("elapsed_s")
+        if be and ce and ce > 3 * be:
+            warnings.append(
+                f"{bench}: elapsed {be}s -> {ce}s (wall time is "
+                f"machine-dependent; never fatal)"
+            )
+
+    for w in warnings:
+        print(f"[bench-gate] note: {w}")
+    if failures:
+        print(f"[bench-gate] FAIL: {len(failures)} deterministic "
+              f"counter regression(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        print(
+            "\nIf the change is intentional, refresh the baseline:\n"
+            "  cmake --build build --target bench-json\n"
+            "  cp build/BENCH_<timestamp>.json bench/baselines/smoke.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("[bench-gate] OK: all deterministic counters match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

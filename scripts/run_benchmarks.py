@@ -27,12 +27,14 @@ import subprocess
 import sys
 import time
 
-# Default suite: the stripes ablation (this PR's headline), the reclaim
-# shoot-out (striped vs legacy vs every baseline), and one Figure-2 cell.
+# Default suite: the stripes ablation, the reclaim shoot-out (striped vs
+# legacy vs every baseline), one Figure-2 cell, and the aggregation
+# ablation (its comm_stat counters feed scripts/check_bench_gate.py).
 DEFAULT_BENCHES = [
     "bench_ablation_ebr_stripes",
     "bench_ablation_reclaim",
     "bench_fig2a_random_small",
+    "bench_ablation_aggregation",
 ]
 MICRO_BENCH = "bench_micro_primitives"
 
@@ -50,12 +52,19 @@ BENCH_STAT_RE = re.compile(
     r"epoch_advances=(?P<epoch_advances>\d+)\s*$"
 )
 
+# Deterministic communication counters (bench_ablation_aggregation and
+# friends): `comm_stat key=value key=value ...`. Numeric values become
+# ints; everything else stays a string. These feed the CI regression
+# gate (scripts/check_bench_gate.py).
+COMM_STAT_RE = re.compile(r"^comm_stat\s+(?P<kv>(?:\S+=\S+\s*)+)$")
+
 
 def parse_bench_output(text):
-    """Extracts csv blocks and bench_stat lines from one binary's stdout."""
+    """Extracts csv blocks, bench_stat and comm_stat lines from stdout."""
     lines = text.splitlines()
     tables = []
     stats = []
+    comm_stats = []
     i = 0
     while i < len(lines):
         line = lines[i]
@@ -71,6 +80,13 @@ def parse_bench_output(text):
                     "epoch_advances": int(d["epoch_advances"]),
                 }
             )
+        m = COMM_STAT_RE.match(line)
+        if m:
+            entry = {}
+            for pair in m.group("kv").split():
+                k, _, v = pair.partition("=")
+                entry[k] = int(v) if v.isdigit() else v
+            comm_stats.append(entry)
         if line.strip() == "csv:" and i + 1 < len(lines):
             header = lines[i + 1].split(",")
             rows = []
@@ -82,7 +98,7 @@ def parse_bench_output(text):
             i = j
             continue
         i += 1
-    return tables, stats
+    return tables, stats, comm_stats
 
 
 def run_binary(path, env, extra_args=None, timeout=1800):
@@ -145,12 +161,13 @@ def main():
         print(f"[bench-json] running {name} ...")
         started = time.time()
         code, out, err = run_binary(path, env)
-        tables, stats = parse_bench_output(out)
+        tables, stats, comm_stats = parse_bench_output(out)
         results[name] = {
             "returncode": code,
             "elapsed_s": round(time.time() - started, 3),
             "tables": tables,
             "bench_stats": stats,
+            "comm_stats": comm_stats,
         }
         if code != 0:
             results[name]["stderr"] = err[-4000:]

@@ -2,7 +2,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/dsi.hpp"
@@ -10,35 +9,29 @@
 namespace rcua::alg {
 
 /// Distributed histogram: buckets the logical elements of a DsiArray by
-/// `bucket_of(elem)` into `num_buckets` counters. Each locale folds its
-/// own blocks into a private histogram (no sharing, no atomics on the
-/// hot path); the per-locale partials are merged at the initiator —
-/// the standard two-level reduction.
+/// `bucket_of(elem)` into `num_buckets` counters. The initiator pulls
+/// the elements through RCUArray::for_each_block — one snapshot
+/// resolution and one read section for the whole pass, remote spans
+/// drained destination-aggregated (one remote execution per destination
+/// flush instead of one GET per element) — and folds every span into a
+/// single histogram. Span-ops run on the initiating task, so no mutex
+/// and no per-locale partials are needed; what used to be the two-level
+/// reduction's merge step is now just the aggregator's drain order.
 template <typename T, typename Policy, typename BucketFn>
 std::vector<std::uint64_t> histogram(DsiArray<T, Policy>& arr,
                                      std::size_t num_buckets,
                                      BucketFn bucket_of) {
   const std::size_t n = arr.size();
-  const std::size_t bs = arr.block_size();
-  std::mutex mu;
   std::vector<std::uint64_t> total(num_buckets, 0);
+  if (n == 0) return total;
 
-  arr.cluster().coforall_locales([&](std::uint32_t l) {
-    std::vector<std::uint64_t> partial(num_buckets, 0);
-    // Fold this locale's blocks only, inline on this (placed) task.
-    arr.backing().for_each_local_block_inline(l, [&](std::size_t b,
-                                                     Block<T>& blk) {
-      const std::size_t base = b * bs;
-      if (base >= n) return;
-      const std::size_t limit = n - base < bs ? n - base : bs;
-      for (std::size_t i = 0; i < limit; ++i) {
-        const std::size_t bucket = bucket_of(blk[i]);
-        if (bucket < num_buckets) ++partial[bucket];
-      }
-    });
-    std::lock_guard<std::mutex> guard(mu);
-    for (std::size_t i = 0; i < num_buckets; ++i) total[i] += partial[i];
-  });
+  arr.backing().for_each_block(
+      0, n, [&](std::size_t, T* data, std::size_t len) {
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::size_t bucket = bucket_of(data[i]);
+          if (bucket < num_buckets) ++total[bucket];
+        }
+      });
   return total;
 }
 

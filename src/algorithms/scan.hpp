@@ -9,13 +9,16 @@ namespace rcua::alg {
 
 /// Distributed parallel prefix operations over a DsiArray: the canonical
 /// three-phase block scan —
-///   1. each locale folds its own blocks to per-block partials (parallel,
-///      locality-aware),
+///   1. fold each block to a per-block partial,
 ///   2. the initiator exclusive-scans the block partials (tiny, serial),
-///   3. each locale rewrites its blocks with its block's offset applied
-///      (parallel).
-/// Not safe concurrently with writers or resizes (the iteration space
-/// and values are taken as-of entry), like any bulk transform.
+///   3. rewrite each block with its block's offset applied.
+/// Phases 1 and 3 run on the initiator over RCUArray::for_each_block:
+/// each phase resolves the snapshot once, pins it for the duration, and
+/// drains remote spans destination-aggregated (one remote execution per
+/// destination flush instead of one GET/PUT per element — see
+/// DESIGN.md §9). Not safe concurrently with writers or resizes (the
+/// iteration space and values are taken as-of entry), like any bulk
+/// transform.
 
 /// In-place inclusive scan: a[i] <- op(a[0..i]). `identity` is op's
 /// neutral element.
@@ -26,16 +29,15 @@ void inclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
   if (n == 0) return;
   const std::size_t nblocks = (n + bs - 1) / bs;
 
-  // Phase 1: per-block fold.
+  // Phase 1: per-block fold, aggregated pull. for_each_block spans never
+  // cross a block boundary, so each span maps to exactly one partial.
   std::vector<T> block_totals(nblocks, identity);
-  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
-    const std::size_t base = b * bs;
-    if (base >= n) return;
-    const std::size_t limit = n - base < bs ? n - base : bs;
-    T acc = identity;
-    for (std::size_t i = 0; i < limit; ++i) acc = op(acc, blk[i]);
-    block_totals[b] = acc;
-  });
+  arr.backing().for_each_block(
+      0, n, [&](std::size_t base, T* data, std::size_t len) {
+        T acc = identity;
+        for (std::size_t i = 0; i < len; ++i) acc = op(acc, data[i]);
+        block_totals[base / bs] = acc;
+      });
 
   // Phase 2: exclusive scan of block totals at the initiator.
   std::vector<T> block_offsets(nblocks, identity);
@@ -45,17 +47,17 @@ void inclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
     running = op(running, block_totals[b]);
   }
 
-  // Phase 3: apply offsets, scanning within each block.
-  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
-    const std::size_t base = b * bs;
-    if (base >= n) return;
-    const std::size_t limit = n - base < bs ? n - base : bs;
-    T acc = block_offsets[b];
-    for (std::size_t i = 0; i < limit; ++i) {
-      acc = op(acc, blk[i]);
-      blk[i] = acc;
-    }
-  });
+  // Phase 3: apply offsets, scanning within each block (aggregated push).
+  arr.backing().for_each_block(
+      0, n,
+      [&](std::size_t base, T* data, std::size_t len) {
+        T acc = block_offsets[base / bs];
+        for (std::size_t i = 0; i < len; ++i) {
+          acc = op(acc, data[i]);
+          data[i] = acc;
+        }
+      },
+      {.mutate = true});
 }
 
 /// In-place exclusive scan: a[i] <- op(a[0..i-1]), a[0] <- identity.
@@ -67,14 +69,12 @@ void exclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
   const std::size_t nblocks = (n + bs - 1) / bs;
 
   std::vector<T> block_totals(nblocks, identity);
-  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
-    const std::size_t base = b * bs;
-    if (base >= n) return;
-    const std::size_t limit = n - base < bs ? n - base : bs;
-    T acc = identity;
-    for (std::size_t i = 0; i < limit; ++i) acc = op(acc, blk[i]);
-    block_totals[b] = acc;
-  });
+  arr.backing().for_each_block(
+      0, n, [&](std::size_t base, T* data, std::size_t len) {
+        T acc = identity;
+        for (std::size_t i = 0; i < len; ++i) acc = op(acc, data[i]);
+        block_totals[base / bs] = acc;
+      });
 
   std::vector<T> block_offsets(nblocks, identity);
   T running = identity;
@@ -83,17 +83,17 @@ void exclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
     running = op(running, block_totals[b]);
   }
 
-  arr.backing().for_each_block_local([&](std::size_t b, Block<T>& blk) {
-    const std::size_t base = b * bs;
-    if (base >= n) return;
-    const std::size_t limit = n - base < bs ? n - base : bs;
-    T acc = block_offsets[b];
-    for (std::size_t i = 0; i < limit; ++i) {
-      const T input = blk[i];
-      blk[i] = acc;
-      acc = op(acc, input);
-    }
-  });
+  arr.backing().for_each_block(
+      0, n,
+      [&](std::size_t base, T* data, std::size_t len) {
+        T acc = block_offsets[base / bs];
+        for (std::size_t i = 0; i < len; ++i) {
+          const T input = data[i];
+          data[i] = acc;
+          acc = op(acc, input);
+        }
+      },
+      {.mutate = true});
 }
 
 /// Sum of the logical elements (convenience over DsiArray::reduce).

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstddef>
 #include <mutex>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "core/rcu_array.hpp"
 #include "platform/align.hpp"
@@ -63,6 +65,48 @@ class DistVector {
       backoff.pause();
     }
     return idx;
+  }
+
+  /// Appends all of `values` contiguously; returns the index of the
+  /// first. Parallel-safe against other producers and readers. The fill
+  /// goes through RCUArray::bulk_write — one reservation fetch-add, at
+  /// most one growth step per capacity shortfall, one pinned snapshot
+  /// and a destination-aggregated drain for the element copies (one
+  /// remote execution per destination flush instead of one PUT per
+  /// element) — then publishes the whole range with the same in-order
+  /// release CAS as push_back, so size() still counts only fully
+  /// written slots.
+  std::size_t push_back_bulk(std::span<const T> values,
+                             typename RCUArray<T, Policy>::BulkOptions
+                                 opts = {}) {
+    const std::size_t n = values.size();
+    if (n == 0) return size();
+    const std::size_t idx =
+        reserved_->fetch_add(n, std::memory_order_relaxed);
+    ensure_capacity(idx + n);
+    arr_.bulk_write(idx, values, opts);
+    std::size_t expected = idx;
+    plat::Backoff backoff(4);
+    while (!size_->compare_exchange_weak(expected, idx + n,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      expected = idx;
+      backoff.pause();
+    }
+    return idx;
+  }
+
+  /// Copies elements [first, first+count) (all below size()) into a
+  /// fresh vector via RCUArray::bulk_read — the aggregated read-side
+  /// counterpart of push_back_bulk.
+  [[nodiscard]] std::vector<T> read_range(
+      std::size_t first, std::size_t count,
+      typename RCUArray<T, Policy>::BulkOptions opts = {}) {
+    if (first + count > size() || first + count < first) {
+      throw std::out_of_range("DistVector::read_range beyond size");
+    }
+    wait_replicated(first + count);
+    return arr_.bulk_read(first, count, opts);
   }
 
   /// Reference to element `i` (valid across growth). Parallel-safe: if a

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "reclaim/ebr.hpp"
 #include "reclaim/qsbr.hpp"
 #include "reclaim/stall_monitor.hpp"
+#include "runtime/aggregator.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/fault_plan.hpp"
 #include "runtime/global_lock.hpp"
@@ -374,6 +377,87 @@ class RCUArray {
 
   // -- Bulk / parallel operations ----------------------------------------
 
+  /// Tuning for the destination-aggregated bulk operations below.
+  struct BulkOptions {
+    /// Element-ops buffered per destination locale before the aggregator
+    /// auto-flushes (rt::Aggregator::Options::capacity). 1 degenerates to
+    /// one remote execution per *span* (still never per element).
+    std::size_t buffer_capacity = 1024;
+    /// for_each_block only: the callback writes elements, so spans are
+    /// charged as writes in the locality model. bulk_read/bulk_write set
+    /// their direction themselves and ignore this.
+    bool mutate = false;
+  };
+
+  /// Copies elements [first, first+count) into `out[0..count)` with ONE
+  /// snapshot resolution and one read-side critical section for the whole
+  /// range, draining remote spans through a destination aggregator: the
+  /// communication cost is one remote execution per destination flush —
+  /// O(blocks touched), not O(count) GETs. Safe concurrently with
+  /// resize_add (the pinned snapshot plus Lemma 6's recycled blocks; see
+  /// DESIGN.md §9). Throws std::out_of_range (before copying anything)
+  /// when the range exceeds the snapshot's capacity.
+  void bulk_read(std::size_t first, std::size_t count, T* out,
+                 BulkOptions opts = {}) {
+    bulk_visit(first, count, /*is_write=*/false, opts,
+               [out, first](std::size_t base, T* data, std::size_t len) {
+                 T* dst = out + (base - first);
+                 if constexpr (plat::relaxed_capable_v<T>) {
+                   for (std::size_t k = 0; k < len; ++k) {
+                     dst[k] = plat::relaxed_load(data[k]);
+                   }
+                 } else {
+                   std::copy(data, data + len, dst);
+                 }
+               });
+  }
+
+  /// Convenience overload returning the elements in a fresh vector.
+  [[nodiscard]] std::vector<T> bulk_read(std::size_t first,
+                                         std::size_t count,
+                                         BulkOptions opts = {}) {
+    std::vector<T> out(count);
+    bulk_read(first, count, out.data(), opts);
+    return out;
+  }
+
+  /// Writes `values` over elements [first, first+values.size()) under
+  /// the same single-snapshot / aggregated-drain regime as bulk_read.
+  /// Writes into recycled blocks, so they stay visible across concurrent
+  /// resize_adds (Lemma 6). Element-level atomicity matches write():
+  /// relaxed per-element stores for machine-word T, plain stores
+  /// otherwise.
+  void bulk_write(std::size_t first, std::span<const T> values,
+                  BulkOptions opts = {}) {
+    bulk_visit(first, values.size(), /*is_write=*/true, opts,
+               [values, first](std::size_t base, T* data, std::size_t len) {
+                 const T* src = values.data() + (base - first);
+                 if constexpr (plat::relaxed_capable_v<T>) {
+                   for (std::size_t k = 0; k < len; ++k) {
+                     plat::relaxed_store(data[k], src[k]);
+                   }
+                 } else {
+                   std::copy(src, src + len, data);
+                 }
+               });
+  }
+
+  /// Runs `fn(base_index, T* data, len)` over the maximal contiguous
+  /// per-block spans covering [first, first+count), resolved against one
+  /// pinned snapshot and drained destination-aggregated: spans of blocks
+  /// owned by the calling locale run inline; remote spans are shipped in
+  /// destination buffers, one remote execution per flush. `fn` runs for
+  /// every span exactly once, but span order is the aggregator's drain
+  /// order, not index order. `fn` MUST NOT touch this array (the
+  /// read-side section is open) and must not retain `data` past its own
+  /// invocation.
+  template <typename F>
+  void for_each_block(std::size_t first, std::size_t count, F&& fn,
+                      BulkOptions opts = {}) {
+    bulk_visit(first, count, /*is_write=*/opts.mutate, opts,
+               std::forward<F>(fn));
+  }
+
   /// Runs `fn(global_block_index, Block<T>&)` for every block, each on a
   /// task on the block's OWNING locale — the locality-aware loop the
   /// paper's DSI future work calls for. Not concurrent-resize-safe (the
@@ -643,6 +727,85 @@ class RCUArray {
         cluster_.privatization().get(pid_, locale));
     assert(p != nullptr);
     return *p;
+  }
+
+  /// Shared engine of bulk_read/bulk_write/for_each_block. Resolves the
+  /// calling locale's snapshot ONCE, partitions [first, first+count)
+  /// into per-block spans, and pushes one span-op per block region into
+  /// a destination aggregator keyed by the owning locale. The whole
+  /// partition-and-drain runs under a single read-side critical section
+  /// (EBR ReadGuard / QSBR participant), and the aggregator is drained
+  /// BEFORE that section closes — the span-ops capture raw block
+  /// pointers, and the pinned snapshot is exactly what keeps a
+  /// concurrent resize_remove's grace period from freeing the blocks
+  /// under them (DESIGN.md §9). The `bulk_flush_after_release` mutation
+  /// moves the drain past the section close; the sched harness proves
+  /// that variant loses (tests/test_sched_bulk.cpp).
+  ///
+  /// `span_fn(base_index, T* data, len)` must not re-enter this array.
+  template <typename SpanFn>
+  void bulk_visit(std::size_t first, std::size_t count, bool is_write,
+                  const BulkOptions& opts, SpanFn&& span_fn) {
+    if (count == 0) return;
+    const auto& m = sim::CostModel::get();
+    PerLocale& p = priv();
+    const std::uint32_t here = cluster_.here();
+    rt::Aggregator agg(cluster_,
+                       rt::Aggregator::Options{opts.buffer_capacity});
+
+    auto body = [&](Snapshot<T>* s) {
+      sim::charge(m.atomic_load_ns);
+      RCUA_SCHED_POINT("rcua.bulk.pinned");
+      const std::size_t end = first + count;
+      if (end < first || end > s->capacity()) {
+        throw std::out_of_range(
+            "RCUArray::bulk: range [" + std::to_string(first) + ", " +
+            std::to_string(first) + "+" + std::to_string(count) +
+            ") exceeds capacity " + std::to_string(s->capacity()));
+      }
+      const double copy_ns = m.bulk_copy_ns_per_elem;
+      std::size_t i = first;
+      while (i < end) {
+        const std::size_t bidx = i / block_size_;
+        const std::size_t off = i % block_size_;
+        const std::size_t len = std::min(block_size_ - off, end - i);
+        Block<T>* b = s->block(bidx);
+        // Everything the deferred op needs, captured by VALUE: the op
+        // must not chase the spine (which this call's pin does not
+        // outlive) when it finally runs.
+        T* data = b->data() + off;
+        const std::uint64_t bid = b->id();
+        const std::uint32_t owner = b->owner();
+        const std::size_t base = i;
+        agg.push(owner, len, [=, &span_fn]() {
+          sim::touch_block(bid, owner != here, is_write);
+          sim::charge(copy_ns * static_cast<double>(len));
+          span_fn(base, data, len);
+        });
+        i += len;
+      }
+      if (!RCUA_SCHED_MUT(bulk_flush_after_release)) {
+        // Drain while the snapshot is still pinned — the correct
+        // protocol. (Capacity-triggered auto-flushes already happened
+        // inside the section too.)
+        agg.flush_all();
+      }
+    };
+
+    if constexpr (Policy::is_qsbr) {
+      qsbr_->ensure_participant();
+      body(p.global_snapshot.load(std::memory_order_acquire));
+    } else {
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      body(p.global_snapshot.load(std::memory_order_acquire));
+    }
+    RCUA_SCHED_POINT("rcua.bulk.released");
+    if (RCUA_SCHED_MUT(bulk_flush_after_release)) {
+      // MUTATION (sched harness only): the buffered ops run after the
+      // read-side section closed — a concurrent resize_remove may have
+      // freed the blocks they point into.
+      agg.flush_all();
+    }
   }
 
   T& index_rw(std::size_t i, bool is_write) {

@@ -40,6 +40,7 @@
 #include "reclaim/ebr.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/qsbr.hpp"
+#include "runtime/aggregator.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/global_lock.hpp"

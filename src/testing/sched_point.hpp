@@ -82,6 +82,14 @@ struct Mutations {
   /// blocking drain) but unsound: a timed-out grace period means a
   /// stalled reader on the *other* parity may hold the entry.
   bool watchdog_skip_recheck = false;
+  /// Bulk ops: drain the destination aggregation buffers AFTER the
+  /// read-side critical section that pinned the snapshot has closed,
+  /// instead of before. Plausible (the flush "only copies elements", and
+  /// under resize_add recycled blocks keep element pointers valid) but
+  /// unsound: once the section closes a concurrent resize_remove's grace
+  /// period can complete and free the dropped blocks the buffered
+  /// operations still point into.
+  bool bulk_flush_after_release = false;
 };
 [[nodiscard]] Mutations& mutations() noexcept;
 

@@ -418,6 +418,15 @@ std::string format_trace(const std::vector<TraceEntry>& trace) {
 
 }  // namespace
 
+std::uint64_t effective_schedule_budget(const ExploreOptions& options) {
+  if (std::getenv("RCUA_SCHED_SEED") != nullptr) return 1;
+  if (const char* env = std::getenv("RCUA_SCHED_SCHEDULES")) {
+    const std::uint64_t n = std::strtoull(env, nullptr, 0);
+    if (n > 0) return n;
+  }
+  return options.schedules;
+}
+
 ExploreResult explore(const ExploreOptions& options,
                       const std::function<void(Scheduler&)>& scenario) {
   ExploreResult result;
@@ -425,7 +434,22 @@ ExploreResult explore(const ExploreOptions& options,
 
   std::uint64_t base_seed = options.base_seed;
   std::uint64_t schedules = options.schedules;
+  int preemption_bound = options.preemption_bound;
   bool replay = false;
+  // Nightly deep-exploration knobs (see the header): a wider budget, a
+  // higher preemption bound, or a shifted seed window, all without
+  // recompiling the tests.
+  if (const char* env = std::getenv("RCUA_SCHED_SCHEDULES")) {
+    const std::uint64_t n = std::strtoull(env, nullptr, 0);
+    if (n > 0) schedules = n;
+  }
+  if (const char* env = std::getenv("RCUA_SCHED_PREEMPTION_BOUND")) {
+    const long b = std::strtol(env, nullptr, 0);
+    if (b >= 0) preemption_bound = static_cast<int>(b);
+  }
+  if (const char* env = std::getenv("RCUA_SCHED_BASE_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
   if (const char* env = std::getenv("RCUA_SCHED_SEED")) {
     // Replay exactly one seed (random mode). DFS is self-reproducing:
     // rerunning the test re-enumerates the identical schedule sequence.
@@ -456,7 +480,7 @@ ExploreResult explore(const ExploreOptions& options,
       if (run_one(strategy, seed) && options.stop_on_violation) break;
     }
   } else {
-    DfsStrategy strategy(options.preemption_bound);
+    DfsStrategy strategy(preemption_bound);
     for (std::uint64_t i = 0; i < schedules; ++i) {
       if (run_one(strategy, i) && options.stop_on_violation) break;
       if (!strategy.advance()) {

@@ -202,8 +202,27 @@ struct ExploreResult {
 /// fresh state and spawn tasks). On violation, prints the reproducing
 /// seed — rerunning with RCUA_SCHED_SEED=<seed> in the environment
 /// replays exactly that schedule (random mode; DFS is self-reproducing).
+///
+/// Environment overrides (the nightly CI tier's deep-exploration knobs):
+///   RCUA_SCHED_SCHEDULES        — replaces options.schedules
+///   RCUA_SCHED_PREEMPTION_BOUND — replaces options.preemption_bound
+///   RCUA_SCHED_BASE_SEED        — replaces options.base_seed (sweeps a
+///                                 different seed window per nightly run
+///                                 without forcing single-seed replay)
+///   RCUA_SCHED_SEED             — replay: forces exactly one schedule,
+///                                 wins over all of the above
 ExploreResult explore(const ExploreOptions& options,
                       const std::function<void(Scheduler&)>& scenario);
+
+/// The schedule budget explore() will actually run for `options` after
+/// the environment overrides above: RCUA_SCHED_SEED forces 1,
+/// RCUA_SCHED_SCHEDULES replaces the configured count, otherwise
+/// options.schedules. Tests asserting that a negative control consumed
+/// its whole budget compare ExploreResult::schedules_run against this
+/// instead of the literal, so the nightly deep-budget sweep does not
+/// break them. (DFS runs may still stop early with `exhausted` set.)
+[[nodiscard]] std::uint64_t effective_schedule_budget(
+    const ExploreOptions& options);
 
 /// RAII toggle for one mutation flag (see sched_point.hpp); restores the
 /// previous value on scope exit.

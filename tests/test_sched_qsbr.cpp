@@ -132,7 +132,8 @@ TEST(SchedQsbr, NegativeControlRandom) {
   const ExploreResult result =
       rcua::testing::explore(opts, holder_reclaimer_scenario);
   EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
-  EXPECT_EQ(result.schedules_run, 1500u);
+  EXPECT_EQ(result.schedules_run,
+            rcua::testing::effective_schedule_budget(opts));
 }
 
 TEST(SchedQsbr, NegativeControlDfsExhaustive) {

@@ -119,7 +119,8 @@ TEST(SchedRcuArray, Lemma6UnderEbrPolicy) {
         });
       });
   EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
-  EXPECT_EQ(result.schedules_run, 400u);
+  EXPECT_EQ(result.schedules_run,
+            rcua::testing::effective_schedule_budget(opts));
   EXPECT_EQ(Snapshot<int>::live_count(), 0u);
 }
 
@@ -161,7 +162,8 @@ TEST(SchedRcuArray, Lemma6UnderQsbrPolicy) {
         });
       });
   EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
-  EXPECT_EQ(result.schedules_run, 400u);
+  EXPECT_EQ(result.schedules_run,
+            rcua::testing::effective_schedule_budget(opts));
   EXPECT_EQ(Snapshot<int>::live_count(), 0u);
 }
 

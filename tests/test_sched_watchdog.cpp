@@ -152,7 +152,8 @@ TEST(SchedWatchdog, NegativeControlRandom) {
   const ExploreResult result =
       rcua::testing::explore(opts, two_round_scenario);
   EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
-  EXPECT_EQ(result.schedules_run, 2000u);
+  EXPECT_EQ(result.schedules_run,
+            rcua::testing::effective_schedule_budget(opts));
 }
 
 TEST(SchedWatchdog, NegativeControlDfs) {
