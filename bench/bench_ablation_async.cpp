@@ -1,0 +1,149 @@
+// Ablation: async comm pipelining (DESIGN.md §10).
+//
+// The destination-aggregated bulk path (§9) turned O(elements) GETs into
+// O(blocks) remote executions; this bench measures what pipelining those
+// executions buys. Every configuration runs the same whole-array
+// bulk_read scan (every destination touched, several spans per
+// destination) and sweeps the per-destination in-flight window against
+// the synchronous flush baseline, across three remote-execution
+// latencies. Communication volume (GETs / PUTs / remote executes) is
+// identical in every cell by construction — async changes WHEN
+// completions land, never HOW MANY ops are issued — and the async
+// counters (issued / completed / max in-flight) are a deterministic
+// function of the workload; all of them are gated by
+// scripts/check_bench_gate.py. Throughput separates the cells:
+//
+//   impl=sync     : PR 4's synchronous flushes (one latency per flush,
+//                   serialized on the initiator)
+//   impl=async-wN : window-N pipelining; w1 must never LOSE to sync
+//                   (the issue cost is a carve-out of the latency, not
+//                   an addition) and the default window must win big.
+
+#include "bench_common.hpp"
+
+#include "sim/cost_model.hpp"
+
+namespace {
+
+using namespace rcua::bench;
+
+struct CommTotals {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t executes = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t max_inflight = 0;
+};
+
+/// One configuration: `window` == 0 is the synchronous flush baseline,
+/// otherwise the async path with that per-destination window. Returns
+/// throughput (elements/s); fills `out` with the comm + async counters
+/// of the measured region (deterministic for a fixed env).
+double run_cfg(const Params& p, std::uint32_t num_locales,
+               double remote_execute_ns, std::size_t window,
+               CommTotals* out, std::uint64_t* out_elems) {
+  rcua::sim::CostModelOverride guard;
+  rcua::sim::CostModel::mutable_instance().remote_execute_ns =
+      remote_execute_ns;
+
+  rcua::rt::Cluster cluster(
+      {.num_locales = num_locales,
+       .workers_per_locale = p.tasks_per_locale + 2});
+  auto arr = QsbrArrayImpl::make(cluster, p.array_elems, p.block_size);
+  const std::uint64_t rounds =
+      p.ops_per_task / p.block_size > 0 ? p.ops_per_task / p.block_size : 1;
+  const std::uint64_t elems_per_round = p.array_elems;
+  const std::uint64_t total_elems = static_cast<std::uint64_t>(num_locales) *
+                                    p.tasks_per_locale * rounds *
+                                    elems_per_round;
+
+  // Construction resizes record executes (and, in async mode, issues) of
+  // their own; measure from a clean slate so the gated counters cover
+  // exactly the workload.
+  cluster.comm().reset();
+  const double tput = measure_tasks(
+      cluster, p.tasks_per_locale, total_elems, p.wallclock,
+      [&](std::uint32_t, std::uint32_t) {
+        std::vector<std::uint64_t> scratch(elems_per_round);
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          arr->bulk_read(0, elems_per_round, scratch.data(),
+                         {.async = window != 0, .window = window});
+        }
+      });
+
+  out->gets = cluster.comm().total_gets();
+  out->puts = cluster.comm().total_puts();
+  out->executes = cluster.comm().total_executes();
+  out->issued = cluster.comm().total_async_issued();
+  out->completed = cluster.comm().total_async_completed();
+  out->max_inflight = cluster.comm().max_async_inflight();
+  *out_elems = total_elems;
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+  return tput;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcua::bench;
+  Params p = Params::from_env(
+      {.ops_per_task = 2048, .array_elems = 1ULL << 14});
+  p.print_banner(
+      "Ablation: async comm pipelining (8 locales)",
+      "(not a paper figure) in-flight window x remote latency sweep "
+      "over the whole-array aggregated scan",
+      "comm volume is window-invariant; async-w1 never loses to sync "
+      "(issue cost is a latency carve-out); the default window "
+      "overlaps per-destination latencies and remote-side processing "
+      "for a >=5x scan speedup (DESIGN.md §10)");
+
+  const std::uint32_t kLocales = 8;
+  if (p.array_elems / p.block_size < kLocales) {
+    std::fprintf(stderr,
+                 "need at least %u blocks (RCUA_ARRAY_ELEMS / "
+                 "RCUA_BLOCK_SIZE) so every locale owns one\n",
+                 kLocales);
+    return 1;
+  }
+  // window == 0 is the synchronous baseline; the rest sweep the async
+  // per-destination window (32 is the RCUA_COMM_WINDOW default).
+  const std::size_t windows[] = {0, 1, 4, 32, 128};
+  const double latencies[] = {15000.0, 60000.0, 240000.0};
+  rcua::util::Table table({"latency_ns", "impl", "tput", "executes",
+                           "issued", "completed", "max_inflight"});
+  for (const double lat : latencies) {
+    for (const std::size_t window : windows) {
+      CommTotals c;
+      std::uint64_t elems = 0;
+      const double tput = run_cfg(p, kLocales, lat, window, &c, &elems);
+      const std::string impl =
+          window == 0 ? "sync" : "async-w" + std::to_string(window);
+      table.add_row({rcua::util::Table::num(lat), impl,
+                     rcua::util::Table::num(tput),
+                     std::to_string(c.executes), std::to_string(c.issued),
+                     std::to_string(c.completed),
+                     std::to_string(c.max_inflight)});
+      // Machine-readable counters for the bench-json pipeline and the
+      // deterministic CI gate (scripts/check_bench_gate.py).
+      std::printf(
+          "comm_stat lat=%llu impl=%s window=%zu gets=%llu puts=%llu "
+          "executes=%llu issued=%llu completed=%llu max_inflight=%llu "
+          "elems=%llu\n",
+          static_cast<unsigned long long>(lat), impl.c_str(), window,
+          static_cast<unsigned long long>(c.gets),
+          static_cast<unsigned long long>(c.puts),
+          static_cast<unsigned long long>(c.executes),
+          static_cast<unsigned long long>(c.issued),
+          static_cast<unsigned long long>(c.completed),
+          static_cast<unsigned long long>(c.max_inflight),
+          static_cast<unsigned long long>(elems));
+    }
+    std::printf("... latency=%.0f done\n", lat);
+  }
+  std::printf("\nthroughput (elements/sec) and async comm counters:\n");
+  table.print(std::cout);
+  std::printf("\ncsv:\n");
+  table.print_csv(std::cout);
+  return 0;
+}

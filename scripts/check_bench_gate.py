@@ -32,8 +32,13 @@ import json
 import sys
 
 # comm_stat fields that are pure outcomes; everything else in the entry
-# (skew, impl, cap, elems, ...) identifies the configuration.
-COMM_COUNTERS = ("gets", "puts", "executes")
+# (skew, impl, cap, window, elems, ...) identifies the configuration.
+# The async counters (bench_ablation_async) are deterministic too: the
+# simulated cluster issues, completes, and windows ops as a pure function
+# of the workload. Entries from benches that predate a counter simply
+# omit the key on both sides and compare equal.
+COMM_COUNTERS = ("gets", "puts", "executes",
+                 "issued", "completed", "max_inflight")
 
 RETRY_FACTOR = 10
 RETRY_SLACK = 1000

@@ -13,25 +13,32 @@ namespace rcua::alg {
 /// the elements through RCUArray::for_each_block — one snapshot
 /// resolution and one read section for the whole pass, remote spans
 /// drained destination-aggregated (one remote execution per destination
-/// flush instead of one GET per element) — and folds every span into a
-/// single histogram. Span-ops run on the initiating task, so no mutex
-/// and no per-locale partials are needed; what used to be the two-level
-/// reduction's merge step is now just the aggregator's drain order.
+/// flush instead of one GET per element), and with the default async
+/// BulkOptions the block fetches are PIPELINED against the folds
+/// (DESIGN.md §10): while one destination's spans are still in flight,
+/// spans already delivered from the others are being bucketed, and every
+/// completion still lands inside the pinned section. Span-ops run on the
+/// initiating task, so no mutex and no per-locale partials are needed;
+/// what used to be the two-level reduction's merge step is now just the
+/// aggregator's drain order. `opts` tunes the aggregation/pipelining.
 template <typename T, typename Policy, typename BucketFn>
-std::vector<std::uint64_t> histogram(DsiArray<T, Policy>& arr,
-                                     std::size_t num_buckets,
-                                     BucketFn bucket_of) {
+std::vector<std::uint64_t> histogram(
+    DsiArray<T, Policy>& arr, std::size_t num_buckets, BucketFn bucket_of,
+    typename RCUArray<T, Policy>::BulkOptions opts = {}) {
   const std::size_t n = arr.size();
   std::vector<std::uint64_t> total(num_buckets, 0);
   if (n == 0) return total;
 
+  opts.mutate = false;
   arr.backing().for_each_block(
-      0, n, [&](std::size_t, T* data, std::size_t len) {
+      0, n,
+      [&](std::size_t, T* data, std::size_t len) {
         for (std::size_t i = 0; i < len; ++i) {
           const std::size_t bucket = bucket_of(data[i]);
           if (bucket < num_buckets) ++total[bucket];
         }
-      });
+      },
+      opts);
   return total;
 }
 

@@ -16,28 +16,38 @@ namespace rcua::alg {
 /// each phase resolves the snapshot once, pins it for the duration, and
 /// drains remote spans destination-aggregated (one remote execution per
 /// destination flush instead of one GET/PUT per element — see
-/// DESIGN.md §9). Not safe concurrently with writers or resizes (the
+/// DESIGN.md §9). With the default async BulkOptions the flushes are
+/// additionally PIPELINED (DESIGN.md §10): block fetches to one
+/// destination overlap with the folds of blocks already delivered from
+/// the others, and all completions still land inside each phase's pinned
+/// section. Not safe concurrently with writers or resizes (the
 /// iteration space and values are taken as-of entry), like any bulk
-/// transform.
+/// transform. `opts` tunes the aggregation/pipelining (its `mutate`
+/// flag is set internally per phase).
 
 /// In-place inclusive scan: a[i] <- op(a[0..i]). `identity` is op's
 /// neutral element.
 template <typename T, typename Policy, typename Op>
-void inclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
+void inclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op,
+                    typename RCUArray<T, Policy>::BulkOptions opts = {}) {
   const std::size_t n = arr.size();
   const std::size_t bs = arr.block_size();
   if (n == 0) return;
   const std::size_t nblocks = (n + bs - 1) / bs;
 
-  // Phase 1: per-block fold, aggregated pull. for_each_block spans never
-  // cross a block boundary, so each span maps to exactly one partial.
+  // Phase 1: per-block fold, aggregated + pipelined pull. for_each_block
+  // spans never cross a block boundary, so each span maps to exactly one
+  // partial.
   std::vector<T> block_totals(nblocks, identity);
+  opts.mutate = false;
   arr.backing().for_each_block(
-      0, n, [&](std::size_t base, T* data, std::size_t len) {
+      0, n,
+      [&](std::size_t base, T* data, std::size_t len) {
         T acc = identity;
         for (std::size_t i = 0; i < len; ++i) acc = op(acc, data[i]);
         block_totals[base / bs] = acc;
-      });
+      },
+      opts);
 
   // Phase 2: exclusive scan of block totals at the initiator.
   std::vector<T> block_offsets(nblocks, identity);
@@ -47,7 +57,9 @@ void inclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
     running = op(running, block_totals[b]);
   }
 
-  // Phase 3: apply offsets, scanning within each block (aggregated push).
+  // Phase 3: apply offsets, scanning within each block (aggregated +
+  // pipelined push).
+  opts.mutate = true;
   arr.backing().for_each_block(
       0, n,
       [&](std::size_t base, T* data, std::size_t len) {
@@ -57,24 +69,28 @@ void inclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
           data[i] = acc;
         }
       },
-      {.mutate = true});
+      opts);
 }
 
 /// In-place exclusive scan: a[i] <- op(a[0..i-1]), a[0] <- identity.
 template <typename T, typename Policy, typename Op>
-void exclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
+void exclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op,
+                    typename RCUArray<T, Policy>::BulkOptions opts = {}) {
   const std::size_t n = arr.size();
   const std::size_t bs = arr.block_size();
   if (n == 0) return;
   const std::size_t nblocks = (n + bs - 1) / bs;
 
   std::vector<T> block_totals(nblocks, identity);
+  opts.mutate = false;
   arr.backing().for_each_block(
-      0, n, [&](std::size_t base, T* data, std::size_t len) {
+      0, n,
+      [&](std::size_t base, T* data, std::size_t len) {
         T acc = identity;
         for (std::size_t i = 0; i < len; ++i) acc = op(acc, data[i]);
         block_totals[base / bs] = acc;
-      });
+      },
+      opts);
 
   std::vector<T> block_offsets(nblocks, identity);
   T running = identity;
@@ -83,6 +99,7 @@ void exclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
     running = op(running, block_totals[b]);
   }
 
+  opts.mutate = true;
   arr.backing().for_each_block(
       0, n,
       [&](std::size_t base, T* data, std::size_t len) {
@@ -93,7 +110,7 @@ void exclusive_scan(DsiArray<T, Policy>& arr, T identity, Op op) {
           acc = op(acc, input);
         }
       },
-      {.mutate = true});
+      opts);
 }
 
 /// Sum of the logical elements (convenience over DsiArray::reduce).

@@ -73,7 +73,9 @@ class DistVector {
   /// most one growth step per capacity shortfall, one pinned snapshot
   /// and a destination-aggregated drain for the element copies (one
   /// remote execution per destination flush instead of one PUT per
-  /// element) — then publishes the whole range with the same in-order
+  /// element; flushes pipeline through the async comm layer by default
+  /// and their completions drain inside the pinned section, DESIGN.md
+  /// §10) — then publishes the whole range with the same in-order
   /// release CAS as push_back, so size() still counts only fully
   /// written slots.
   std::size_t push_back_bulk(std::span<const T> values,

@@ -195,19 +195,34 @@ class RCUArray {
     if (num_elements == 0) return;
     const std::size_t nblocks =
         (num_elements + block_size_ - 1) / block_size_;
-    const auto& m = sim::CostModel::get();
 
     std::vector<Block<T>*> new_blocks;  // line 9
     new_blocks.reserve(nblocks);
     write_lock_.lock();  // line 10
     const std::uint32_t here = cluster_.here();
     std::uint32_t loc = priv().next_locale_id;  // line 11
-    // Allocate and distribute new blocks (lines 12-16).
-    for (std::size_t k = 0; k < nblocks; ++k) {
-      cluster_.comm().record_execute(here, loc);  // `on Locales[locId]`
-      new_blocks.push_back(new Block<T>(cluster_.locale(loc), block_size_));
-      sim::charge(m.alloc_block_ns);
-      loc = (loc + 1) % cluster_.num_locales();
+    // Allocate and distribute new blocks (lines 12-16), pipelined: each
+    // remote `on Locales[locId]` allocation is issued asynchronously so
+    // its launch latency overlaps with the other allocations (and same-
+    // locale allocations run inline), instead of paying one full
+    // round-trip per block. All futures are collected before the
+    // broadcast below, preserving the round-robin block order.
+    {
+      rt::AsyncComm async(cluster_.comm(), here);
+      std::vector<rt::future<Block<T>*>> pending;
+      pending.reserve(nblocks);
+      for (std::size_t k = 0; k < nblocks; ++k) {
+        const std::uint32_t target = loc;
+        pending.push_back(
+            async.execute(target, /*weight=*/0, [this, target]() {
+              Block<T>* b =
+                  new Block<T>(cluster_.locale(target), block_size_);
+              sim::charge(sim::CostModel::get().alloc_block_ns);
+              return b;
+            }));
+        loc = (loc + 1) % cluster_.num_locales();
+      }
+      for (auto& f : pending) new_blocks.push_back(f.get());
     }
     const std::uint32_t final_loc = loc;
 
@@ -387,6 +402,15 @@ class RCUArray {
     /// charged as writes in the locality model. bulk_read/bulk_write set
     /// their direction themselves and ignore this.
     bool mutate = false;
+    /// Pipeline the aggregator's flushes through the async comm layer
+    /// (rt::AsyncComm): remote executions overlap instead of
+    /// serializing, and their completions are drained inside the same
+    /// read-side section (DESIGN.md §10). false = PR 4's synchronous
+    /// flush model. Results and comm counters are identical either way.
+    bool async = true;
+    /// Per-destination in-flight window for async mode; 0 defers to the
+    /// RCUA_COMM_WINDOW environment variable (default 32).
+    std::size_t window = 0;
   };
 
   /// Copies elements [first, first+count) into `out[0..count)` with ONE
@@ -751,7 +775,9 @@ class RCUArray {
     PerLocale& p = priv();
     const std::uint32_t here = cluster_.here();
     rt::Aggregator agg(cluster_,
-                       rt::Aggregator::Options{opts.buffer_capacity});
+                       rt::Aggregator::Options{.capacity = opts.buffer_capacity,
+                                               .async = opts.async,
+                                               .window = opts.window});
 
     auto body = [&](Snapshot<T>* s) {
       sim::charge(m.atomic_load_ns);
@@ -785,10 +811,16 @@ class RCUArray {
         i += len;
       }
       if (!RCUA_SCHED_MUT(bulk_flush_after_release)) {
-        // Drain while the snapshot is still pinned — the correct
-        // protocol. (Capacity-triggered auto-flushes already happened
-        // inside the section too.)
+        // Flush AND drain while the snapshot is still pinned — the
+        // correct protocol. In async mode the flush only *issues* the
+        // remote executions; drain() is what runs their completions
+        // against the pinned blocks, so it must also land inside the
+        // section (the §10 completion-drain rule). Capacity-triggered
+        // auto-flushes already happened inside the section too.
         agg.flush_all();
+        if (!RCUA_SCHED_MUT(async_drain_after_release)) {
+          agg.drain();
+        }
       }
     };
 
@@ -805,6 +837,13 @@ class RCUArray {
       // read-side section closed — a concurrent resize_remove may have
       // freed the blocks they point into.
       agg.flush_all();
+      agg.drain();
+    } else if (RCUA_SCHED_MUT(async_drain_after_release)) {
+      // MUTATION (sched harness only): the flushes were ISSUED inside
+      // the section, but their completions are delivered only now — the
+      // async reopening of exactly the same use-after-reclaim window
+      // (DESIGN.md §10; tests/test_sched_async.cpp).
+      agg.drain();
     }
   }
 

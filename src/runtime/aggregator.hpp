@@ -3,10 +3,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "runtime/cluster.hpp"
+#include "runtime/comm.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
 #include "testing/sched_point.hpp"
@@ -48,6 +50,16 @@ struct AggregatorOptions {
   /// a nested class's NSDMIs are not usable in the enclosing class's
   /// default arguments.)
   std::size_t capacity = 1024;
+  /// Pipeline flushes through rt::AsyncComm: each flush issues an async
+  /// remote execute (paying only the issue carve-out) and its launch
+  /// latency + wire time overlap with subsequent flushes; completions
+  /// land at drain()/destruction-cancel. false = the PR 4 synchronous
+  /// model (one blocking execute + wire charge per flush). Counters are
+  /// identical in both modes.
+  bool async = true;
+  /// Per-destination in-flight window for async mode; 0 defers to the
+  /// RCUA_COMM_WINDOW environment variable (see AsyncCommOptions).
+  std::size_t window = 0;
 };
 
 class Aggregator {
@@ -65,9 +77,20 @@ class Aggregator {
       : cluster_(cluster),
         capacity_(options.capacity == 0 ? 1 : options.capacity),
         here_(cluster.here()),
-        buffers_(cluster.num_locales()) {}
+        buffers_(cluster.num_locales()) {
+    if (options.async) {
+      async_.emplace(cluster.comm(), here_,
+                     AsyncCommOptions{.window = options.window});
+    }
+  }
 
-  ~Aggregator() = default;  // pending ops are dropped — see class comment
+  /// Unflushed buffered ops are dropped (see class comment), and — via
+  /// ~AsyncComm — every in-flight async flush is CANCELLED, never
+  /// delivered: an exception unwinding out of the pinned section must
+  /// not run completions against unpinned blocks or a destroyed caller
+  /// buffer. Callers that want the ops must flush_all() + drain() inside
+  /// the section.
+  ~Aggregator() = default;
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
 
@@ -99,14 +122,26 @@ class Aggregator {
     if (buf.ops.empty()) return;
     RCUA_SCHED_POINT("agg.flush");
     ++stats_.flushes;
-    cluster_.comm().record_execute(here_, dst);
-    sim::charge(sim::CostModel::get().bulk_copy_ns_per_elem *
-                static_cast<double>(buf.weight));
     // Swap out first so an op that pushes to the same destination (none
     // do today) cannot interleave with the buffer being cleared.
     std::vector<std::function<void()>> ops = std::move(buf.ops);
     buf.ops.clear();
+    const std::size_t weight = buf.weight;
     buf.weight = 0;
+    if (async_) {
+      // Pipelined: the execute's launch latency and per-element wire
+      // time live in the channel model (overlapping with later flushes)
+      // instead of being charged up front; the buffered ops run at the
+      // completion, still in push order (per-destination delivery is
+      // FIFO in issue order).
+      async_->execute(dst, weight, [ops = std::move(ops)]() mutable {
+        for (auto& op : ops) op();
+      });
+      return;
+    }
+    cluster_.comm().record_execute(here_, dst);
+    sim::charge(sim::CostModel::get().bulk_copy_ns_per_elem *
+                static_cast<double>(weight));
     for (auto& op : ops) op();
   }
 
@@ -116,6 +151,15 @@ class Aggregator {
          dst < static_cast<std::uint32_t>(buffers_.size()); ++dst) {
       flush(dst);
     }
+  }
+
+  /// Retires every in-flight async flush completion (no-op in sync mode
+  /// or when nothing is pending). MUST be called inside the read-side
+  /// section that pins the memory the buffered ops touch — the §10
+  /// completion-drain rule; RCUArray::bulk_visit is the reference
+  /// caller.
+  void drain() {
+    if (async_) async_->drain();
   }
 
   [[nodiscard]] std::size_t pending_weight(std::uint32_t dst) const {
@@ -128,6 +172,11 @@ class Aggregator {
   }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// The async session (nullptr in sync mode) — window/in-flight/stat
+  /// observability for tests.
+  [[nodiscard]] const AsyncComm* async_comm() const noexcept {
+    return async_ ? &*async_ : nullptr;
+  }
 
  private:
   struct Buffer {
@@ -139,6 +188,7 @@ class Aggregator {
   std::size_t capacity_;
   std::uint32_t here_;
   std::vector<Buffer> buffers_;
+  std::optional<AsyncComm> async_;
   Stats stats_;
 };
 

@@ -1,10 +1,20 @@
 #include "runtime/comm.hpp"
 
+#include <algorithm>
+
 #include "runtime/fault_plan.hpp"
-#include "sim/cost_model.hpp"
-#include "sim/task_clock.hpp"
+#include "testing/sched_point.hpp"
+#include "util/env.hpp"
 
 namespace rcua::rt {
+
+namespace {
+/// Default per-destination in-flight window when neither the ctor nor
+/// RCUA_COMM_WINDOW picks one. Large enough that a whole-array scan's
+/// flushes to one destination pipeline freely; small enough to model a
+/// real NIC's bounded injection queue.
+constexpr std::uint64_t kDefaultWindow = 32;
+}  // namespace
 
 CommLayer::CommLayer(std::uint32_t num_locales) : stats_(num_locales) {}
 
@@ -32,6 +42,54 @@ void CommLayer::record_execute(std::uint32_t src, std::uint32_t dst) noexcept {
   }
 }
 
+void CommLayer::record_execute_async(std::uint32_t src,
+                                     std::uint32_t dst) noexcept {
+  if (src == dst) return;
+  stats_[src].value.executes.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::issue_execute(std::uint32_t src,
+                                       std::uint32_t dst) noexcept {
+  if (src == dst) return 0;
+  stats_[src].value.executes.fetch_add(1, std::memory_order_relaxed);
+  const auto& m = sim::CostModel::get();
+  const double issue = std::min(m.async_issue_ns, m.remote_execute_ns);
+  sim::charge(issue);
+  return static_cast<std::uint64_t>(m.remote_execute_ns - issue) +
+         slow_remote_delay(dst);
+}
+
+std::uint64_t CommLayer::slow_remote_delay(std::uint32_t dst) noexcept {
+  if (FaultPlan* plan = fault_plan_.load(std::memory_order_acquire)) {
+    std::uint64_t delay = 0;
+    if (plan->fires(FaultPlan::Action::kSlowRemote, dst, &delay)) {
+      return delay;
+    }
+  }
+  return 0;
+}
+
+void CommLayer::note_async_issued(std::uint32_t locale) noexcept {
+  stats_[locale].value.async_issued.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommLayer::note_async_completed(std::uint32_t locale) noexcept {
+  stats_[locale].value.async_completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommLayer::note_async_cancelled(std::uint32_t locale) noexcept {
+  stats_[locale].value.async_cancelled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommLayer::note_async_inflight(std::uint32_t locale,
+                                    std::size_t depth) noexcept {
+  auto& hwm = stats_[locale].value.async_max_inflight;
+  std::uint64_t cur = hwm.load(std::memory_order_relaxed);
+  while (cur < depth &&
+         !hwm.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
 std::uint64_t CommLayer::gets(std::uint32_t locale) const noexcept {
   return stats_[locale].value.gets.load(std::memory_order_relaxed);
 }
@@ -42,6 +100,24 @@ std::uint64_t CommLayer::puts(std::uint32_t locale) const noexcept {
 
 std::uint64_t CommLayer::executes(std::uint32_t locale) const noexcept {
   return stats_[locale].value.executes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::async_issued(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.async_issued.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::async_completed(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.async_completed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::async_cancelled(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.async_cancelled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::async_max_inflight(
+    std::uint32_t locale) const noexcept {
+  return stats_[locale].value.async_max_inflight.load(
+      std::memory_order_relaxed);
 }
 
 std::uint64_t CommLayer::total_gets() const noexcept {
@@ -62,8 +138,158 @@ std::uint64_t CommLayer::total_executes() const noexcept {
   return n;
 }
 
+std::uint64_t CommLayer::total_async_issued() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += async_issued(l);
+  return n;
+}
+
+std::uint64_t CommLayer::total_async_completed() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += async_completed(l);
+  return n;
+}
+
+std::uint64_t CommLayer::total_async_cancelled() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += async_cancelled(l);
+  return n;
+}
+
+std::uint64_t CommLayer::max_async_inflight() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) {
+    n = std::max(n, async_max_inflight(l));
+  }
+  return n;
+}
+
 void CommLayer::reset() noexcept {
   for (auto& s : stats_) s.value.reset();
+}
+
+AsyncComm::AsyncComm(CommLayer& comm, std::uint32_t here, Options options)
+    : comm_(comm),
+      here_(here),
+      window_(options.window != 0
+                  ? options.window
+                  : static_cast<std::size_t>(
+                        util::env_u64("RCUA_COMM_WINDOW", kDefaultWindow))),
+      channels_(comm.num_locales()) {
+  if (window_ == 0) window_ = 1;
+}
+
+AsyncComm::~AsyncComm() { cancel_pending(); }
+
+void AsyncComm::issue(std::uint32_t dst, std::size_t weight,
+                      double latency_ns,
+                      std::shared_ptr<detail::AsyncOpCore> core,
+                      std::function<void()> deliver) {
+  Channel& ch = channels_[dst];
+  // Bounded window: once `window_` ops are outstanding to this
+  // destination, the issuer stalls — i.e. retires the oldest completion
+  // first. Safe here because issuing happens inside whatever read-side
+  // section pins the completion's targets (DESIGN.md §10).
+  while (ch.inflight.size() >= window_) retire_head(ch);
+  RCUA_SCHED_POINT("comm.async.issue");
+
+  const auto& m = sim::CostModel::get();
+  // The issue cost is a carve-out of the op's latency, not an addition:
+  // at window=1 (or a lone op) issue + remainder sums to exactly the
+  // synchronous charge, so async mode can never be slower (§10).
+  const double issue_ns = std::min(m.async_issue_ns, latency_ns);
+  sim::charge(issue_ns);
+  // Consult the fault plan exactly once per op (rules are stateful).
+  const std::uint64_t fault_delay = comm_.slow_remote_delay(dst);
+
+  const std::uint64_t send_start = std::max(sim::now_v(), ch.wire_ready);
+  const double wire_ns =
+      m.bulk_copy_ns_per_elem * static_cast<double>(weight);
+  ch.wire_ready = send_start + static_cast<std::uint64_t>(wire_ns);
+
+  core->dst = dst;
+  core->session = this;
+  core->completion_vtime = ch.wire_ready +
+                           static_cast<std::uint64_t>(latency_ns - issue_ns) +
+                           fault_delay;
+
+  ch.inflight.push_back(Pending{core, std::move(deliver)});
+  issue_order_.push_back(std::move(core));
+  ++stats_.issued;
+  comm_.note_async_issued(here_);
+  const std::size_t depth = ch.inflight.size();
+  stats_.max_inflight = std::max(stats_.max_inflight, depth);
+  comm_.note_async_inflight(here_, depth);
+}
+
+void AsyncComm::retire_head(Channel& ch) {
+  Pending p = std::move(ch.inflight.front());
+  ch.inflight.pop_front();
+  RCUA_SCHED_POINT("comm.async.complete");
+  // Mark completed BEFORE delivering: if the closure throws, the op
+  // still counts as delivered exactly once (never re-run), and the
+  // session destructor cancels — not delivers — whatever remains.
+  p.core->completed = true;
+  ++stats_.completed;
+  comm_.note_async_completed(here_);
+  if (!p.deliver) {
+    sim::advance_to(p.core->completion_vtime);
+    return;
+  }
+  if (!sim::enabled()) {
+    p.deliver();
+    return;
+  }
+  // The closure executes on the DESTINATION's timeline: measure its own
+  // charges under a sub-clock and chain them per destination (one
+  // remote locale processes its deliveries serially), so processing for
+  // different destinations overlaps while the issuer only advances to
+  // this op's processing-done time. With a single destination at
+  // window=1 this degenerates to exactly the synchronous serialization.
+  const std::uint64_t proc_start =
+      std::max(p.core->completion_vtime, ch.proc_done);
+  sim::TaskClock remote_clock;
+  {
+    sim::ClockScope scope(remote_clock);
+    p.deliver();
+  }
+  ch.proc_done = proc_start + remote_clock.vtime_ns;
+  sim::advance_to(ch.proc_done);
+}
+
+void AsyncComm::await(detail::AsyncOpCore& core) {
+  Channel& ch = channels_[core.dst];
+  while (!core.completed) {
+    if (ch.inflight.empty()) {
+      throw std::logic_error(
+          "rt::AsyncComm: awaited op is neither completed nor in flight");
+    }
+    retire_head(ch);
+  }
+}
+
+void AsyncComm::drain() {
+  while (!issue_order_.empty()) {
+    std::shared_ptr<detail::AsyncOpCore> core =
+        std::move(issue_order_.front());
+    issue_order_.pop_front();
+    if (!core->completed && !core->cancelled) await(*core);
+  }
+}
+
+std::size_t AsyncComm::cancel_pending() noexcept {
+  std::size_t n = 0;
+  for (Channel& ch : channels_) {
+    for (Pending& p : ch.inflight) {
+      p.core->cancelled = true;
+      ++stats_.cancelled;
+      comm_.note_async_cancelled(here_);
+      ++n;
+    }
+    ch.inflight.clear();
+  }
+  issue_order_.clear();
+  return n;
 }
 
 }  // namespace rcua::rt

@@ -18,6 +18,7 @@ void CostModel::load_env() {
       env_f64("RCUA_COST_SPINE_COPY_NS_PER_BLOCK", spine_copy_ns_per_block);
   remote_execute_ns = env_f64("RCUA_COST_REMOTE_EXECUTE_NS", remote_execute_ns);
   task_spawn_ns = env_f64("RCUA_COST_TASK_SPAWN_NS", task_spawn_ns);
+  async_issue_ns = env_f64("RCUA_COST_ASYNC_ISSUE_NS", async_issue_ns);
   atomic_load_ns = env_f64("RCUA_COST_ATOMIC_LOAD_NS", atomic_load_ns);
   atomic_rmw_ns = env_f64("RCUA_COST_ATOMIC_RMW_NS", atomic_rmw_ns);
   rmw_transfer_ns = env_f64("RCUA_COST_RMW_TRANSFER_NS", rmw_transfer_ns);

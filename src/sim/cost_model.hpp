@@ -42,6 +42,13 @@ struct CostModel {
   double remote_execute_ns = 60000.0;
   /// Spawning/joining one task in a coforall on the local locale.
   double task_spawn_ns = 60000.0;
+  /// CPU-side cost of *injecting* one asynchronous remote operation
+  /// (descriptor build + NIC doorbell). Modeled as a carve-out of the
+  /// op's latency, never an addition: an async issue charges
+  /// min(async_issue_ns, latency) and the remainder lands in the
+  /// completion time, so at window=1 async totals exactly match the
+  /// synchronous charges and pipelining can only win (DESIGN.md §10).
+  double async_issue_ns = 500.0;
 
   // -- Atomics and locks ----------------------------------------------
   /// Atomic load with acquire/seq_cst ordering.

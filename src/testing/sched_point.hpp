@@ -90,6 +90,14 @@ struct Mutations {
   /// period can complete and free the dropped blocks the buffered
   /// operations still point into.
   bool bulk_flush_after_release = false;
+  /// Async bulk ops: ISSUE the aggregation flushes inside the read-side
+  /// section but deliver their completions only after it closed.
+  /// Plausible (the ops were "sent" while pinned, and sync mode would
+  /// have been safe at the same program point) but unsound: an async
+  /// completion still holds raw block pointers, and once the section
+  /// closes a concurrent resize_remove's grace period can free those
+  /// blocks before the drain runs — the §10 completion-drain rule.
+  bool async_drain_after_release = false;
 };
 [[nodiscard]] Mutations& mutations() noexcept;
 

@@ -195,8 +195,10 @@ TEST(BulkOps, AggregatorStatsAndLocalFastPath) {
   EXPECT_EQ(remote_ran, 0);  // below capacity: still buffered
   EXPECT_EQ(agg.pending_weight(1), 3u);
   agg.push(1, 1, [&] { ++remote_ran; });  // reaches capacity 4
-  EXPECT_EQ(remote_ran, 4);               // auto-flush ran all four
-  EXPECT_EQ(agg.pending_weight(1), 0u);
+  EXPECT_EQ(agg.pending_weight(1), 0u);   // auto-flush ISSUED the buffer
+  EXPECT_EQ(remote_ran, 0);  // async mode: delivery happens at drain
+  agg.drain();
+  EXPECT_EQ(remote_ran, 4);  // the drain delivered all four exactly once
   EXPECT_EQ(agg.stats().ops, 5u);
   EXPECT_EQ(agg.stats().local_ops, 1u);
   EXPECT_EQ(agg.stats().flushes, 1u);
@@ -208,6 +210,52 @@ TEST(BulkOps, AggregatorStatsAndLocalFastPath) {
     dropped.push(1, 1, [&] { ++remote_ran; });
   }
   EXPECT_EQ(remote_ran, 4);
+  // Sync mode still delivers at the flush itself.
+  rt::Aggregator sync_agg(cluster, {.capacity = 4, .async = false});
+  int sync_ran = 0;
+  sync_agg.push(1, 2, [&] { ++sync_ran; });
+  sync_agg.flush_all();
+  EXPECT_EQ(sync_ran, 1);
+}
+
+TEST(BulkOps, AggregatorDtorCancelsInflightAsyncCompletions) {
+  // Satellite fix: the destructor's interaction with in-flight ASYNC
+  // flushes is defined as cancellation — a pending completion is never
+  // delivered into a destroyed caller buffer, and the async counters
+  // balance (issued == completed + cancelled) so nothing leaks either.
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 1});
+  rt::CommLayer& comm = cluster.comm();
+  comm.reset();
+  int ran = 0;
+  {
+    rt::Aggregator agg(cluster, {.capacity = 100, .async = true,
+                                 .window = 8});
+    agg.push(1, 1, [&] { ++ran; });
+    agg.push(1, 1, [&] { ++ran; });
+    agg.flush_all();  // ISSUES one async execute; completion in flight
+    ASSERT_NE(agg.async_comm(), nullptr);
+    EXPECT_EQ(agg.async_comm()->total_inflight(), 1u);
+    EXPECT_EQ(ran, 0);
+    // Destroyed with the completion still pending — e.g. an exception
+    // unwinding out of the read-side section.
+  }
+  EXPECT_EQ(ran, 0);  // never delivered into the destroyed frame
+  EXPECT_EQ(comm.total_async_issued(), 1u);
+  EXPECT_EQ(comm.total_async_completed(), 0u);
+  EXPECT_EQ(comm.total_async_cancelled(), 1u);
+  EXPECT_EQ(comm.total_async_issued(),
+            comm.total_async_completed() + comm.total_async_cancelled());
+
+  // The awaited path still delivers: flush + drain inside the scope.
+  {
+    rt::Aggregator agg(cluster, {.capacity = 100, .async = true,
+                                 .window = 8});
+    agg.push(1, 1, [&] { ++ran; });
+    agg.flush_all();
+    agg.drain();
+    EXPECT_EQ(ran, 1);
+  }
+  EXPECT_EQ(ran, 1);
 }
 
 TEST(BulkOps, AgreementUnderConcurrentResizeAdd) {

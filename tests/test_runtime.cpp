@@ -138,6 +138,7 @@ TEST(Cluster, CoforallChargesInitiatorWithLongestBody) {
   auto& m = sim::CostModel::mutable_instance();
   m.task_spawn_ns = 100;
   m.remote_execute_ns = 1000;
+  m.async_issue_ns = 500;
 
   rt::Cluster cluster({.num_locales = 4, .workers_per_locale = 1});
   sim::TaskClock clock;
@@ -147,8 +148,11 @@ TEST(Cluster, CoforallChargesInitiatorWithLongestBody) {
       sim::charge(l == 2 ? 5000.0 : 10.0);  // one slow body
     });
   }
-  // 4 spawns + 3 remote executes (initiator is locale 0) + longest body.
-  EXPECT_EQ(clock.vtime_ns, 4 * 100u + 3 * 1000u + 5000u);
+  // 4 spawns + 3 pipelined launch issues (initiator is locale 0; each
+  // remote launch charges only the 500ns issue carve-out) + the longest
+  // branch including its launch-latency remainder (500 + 5000 on the
+  // slow remote body — the remainders overlap instead of summing).
+  EXPECT_EQ(clock.vtime_ns, 4 * 100u + 3 * 500u + (500u + 5000u));
 }
 
 TEST(Cluster, OnChargesBodyToInitiator) {
