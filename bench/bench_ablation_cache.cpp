@@ -1,0 +1,184 @@
+// Ablation: per-locale remote block cache (DESIGN.md §11).
+//
+// The async bulk path (§10) made remote traffic cheap per op; the block
+// cache makes repeated traffic disappear entirely: a Zipfian hot set
+// whose working set fits in the cache turns O(ops) remote GETs into
+// O(hot blocks) fills. This bench sweeps cache capacity (off, one
+// block, 1% / 10% / 100% of the array) against Zipfian theta (the skew
+// generator from bench_ablation_skew) over a pure read workload, one
+// task per locale so the hit/miss/fill/eviction counters are a
+// deterministic function of the workload (gated by
+// scripts/check_bench_gate.py alongside gets/puts/executes).
+//
+// Reads agree with the cache off by construction (write-through +
+// version/generation self-invalidation, no broadcast); the bench proves
+// it cheaply by checksumming every cell and failing on any divergence
+// from the cap=off cell.
+
+#include "bench_common.hpp"
+#include "util/workload.hpp"
+
+#include <atomic>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace rcua::bench;
+
+struct CacheTotals {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t executes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// One (theta, capacity) cell: every locale runs ONE task of Zipfian
+/// reads over the whole array (single consumer per locale keeps the
+/// cache counters deterministic). Returns throughput; fills `out` with
+/// the comm + cache counters and `out_sum` with the read checksum.
+double run_cfg(const Params& p, std::uint32_t num_locales, double theta,
+               double zetan, std::size_t cap_bytes, CacheTotals* out,
+               std::uint64_t* out_sum, std::uint64_t* out_ops) {
+  rcua::rt::Cluster cluster(
+      {.num_locales = num_locales, .workers_per_locale = 4});
+  rcua::RCUArray<std::uint64_t, rcua::QsbrPolicy> arr(
+      cluster, p.array_elems,
+      {.block_size = p.block_size, .cache_capacity_bytes = cap_bytes});
+
+  // Deterministic content so the per-cell checksum is comparable.
+  {
+    std::vector<std::uint64_t> vals(p.array_elems);
+    for (std::uint64_t i = 0; i < p.array_elems; ++i) {
+      vals[i] = rcua::plat::mix64(i);
+    }
+    arr.bulk_write(0, std::span<const std::uint64_t>(vals.data(),
+                                                     vals.size()));
+  }
+
+  // A fill fetches a whole block through one remote execute; it pays
+  // off only when the block is re-read enough times afterwards. Scale
+  // the read count so the per-block reuse is high enough for that
+  // regime to be visible even in the smoke configuration (the strict
+  // >=5x CI bound lives in test_block_cache.cpp, at ~1000 reads per hot
+  // block).
+  const std::uint64_t reads_per_task = p.ops_per_task * 8;
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(num_locales) * reads_per_task;
+  std::atomic<std::uint64_t> sum{0};
+
+  // The fill above records PUTs (and bumps generations); measure from a
+  // clean slate so the gated counters cover exactly the read workload.
+  cluster.comm().reset();
+  const double tput = measure_tasks(
+      cluster, /*tasks_per_locale=*/1, total_ops, p.wallclock,
+      [&](std::uint32_t l, std::uint32_t) {
+        rcua::util::ZipfGenerator zipf(p.array_elems, theta,
+                                       rcua::plat::mix64(p.seed ^ (l + 1)),
+                                       zetan);
+        std::uint64_t acc = 0;
+        for (std::uint64_t n = 0; n < reads_per_task; ++n) {
+          acc += arr.read(zipf.next());
+        }
+        sum.fetch_add(acc, std::memory_order_relaxed);
+      });
+
+  out->gets = cluster.comm().total_gets();
+  out->puts = cluster.comm().total_puts();
+  out->executes = cluster.comm().total_executes();
+  out->hits = cluster.comm().total_cache_hits();
+  out->misses = cluster.comm().total_cache_misses();
+  out->fills = cluster.comm().total_cache_fills();
+  out->evictions = cluster.comm().total_cache_evictions();
+  *out_sum = sum.load(std::memory_order_relaxed);
+  *out_ops = total_ops;
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+  return tput;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rcua::bench;
+  Params p = Params::from_env({.ops_per_task = 2048});
+  p.print_banner(
+      "Ablation: remote block cache, capacity x skew (4 locales)",
+      "(not a paper figure) Zipfian read hot set vs cache capacity "
+      "(off, 1 block, 1% / 10% / 100% of the array)",
+      "remote ops collapse from O(ops) to O(hot blocks) once the hot "
+      "set fits; a capacity-starved cache is actively HARMFUL (every "
+      "miss fetches a whole block, then evicts it unused); the cache "
+      "counters are deterministic and CI-gated (DESIGN.md §11)");
+
+  const std::uint32_t kLocales = 4;
+  const std::size_t elem_bytes = sizeof(std::uint64_t);
+  const std::size_t array_bytes =
+      static_cast<std::size_t>(p.array_elems) * elem_bytes;
+  const std::size_t block_bytes = p.block_size * elem_bytes;
+  const std::pair<const char*, std::size_t> caps[] = {
+      {"off", 0},
+      {"1blk", block_bytes},
+      {"1pct", array_bytes / 100},
+      {"10pct", array_bytes / 10},
+      {"100pct", array_bytes},
+  };
+
+  bool checksum_ok = true;
+  rcua::util::Table table({"theta", "cap", "tput", "speedup", "hits",
+                           "misses", "fills", "evictions"});
+  for (const double theta : {0.2, 0.5, 0.8, 0.99}) {
+    const double zetan =
+        rcua::util::ZipfGenerator::compute_zetan(p.array_elems, theta);
+    double off_tput = 0.0;
+    std::uint64_t off_sum = 0;
+    for (const auto& [cap_name, cap_bytes] : caps) {
+      CacheTotals c;
+      std::uint64_t sum = 0, ops = 0;
+      const double tput =
+          run_cfg(p, kLocales, theta, zetan, cap_bytes, &c, &sum, &ops);
+      if (cap_bytes == 0) {
+        off_tput = tput;
+        off_sum = sum;
+      } else if (sum != off_sum) {
+        std::fprintf(stderr,
+                     "FAIL: theta=%.2f cap=%s read checksum %llu != "
+                     "uncached %llu — the cache served a wrong value\n",
+                     theta, cap_name,
+                     static_cast<unsigned long long>(sum),
+                     static_cast<unsigned long long>(off_sum));
+        checksum_ok = false;
+      }
+      table.add_row({rcua::util::Table::fixed(theta, 2), cap_name,
+                     rcua::util::Table::num(tput),
+                     rcua::util::Table::fixed(
+                         off_tput > 0 ? tput / off_tput : 0.0, 2),
+                     std::to_string(c.hits), std::to_string(c.misses),
+                     std::to_string(c.fills),
+                     std::to_string(c.evictions)});
+      // Machine-readable counters for the bench-json pipeline and the
+      // deterministic CI gate (scripts/check_bench_gate.py).
+      std::printf(
+          "comm_stat theta=%.2f cap=%s gets=%llu puts=%llu "
+          "executes=%llu hits=%llu misses=%llu fills=%llu "
+          "evictions=%llu ops=%llu\n",
+          theta, cap_name, static_cast<unsigned long long>(c.gets),
+          static_cast<unsigned long long>(c.puts),
+          static_cast<unsigned long long>(c.executes),
+          static_cast<unsigned long long>(c.hits),
+          static_cast<unsigned long long>(c.misses),
+          static_cast<unsigned long long>(c.fills),
+          static_cast<unsigned long long>(c.evictions),
+          static_cast<unsigned long long>(ops));
+    }
+    std::printf("... theta=%.2f done\n", theta);
+  }
+  std::printf("\nthroughput (reads/sec), speedup vs cache off:\n");
+  table.print(std::cout);
+  std::printf("\ncsv:\n");
+  table.print_csv(std::cout);
+  return checksum_ok ? 0 : 1;
+}

@@ -8,6 +8,8 @@
 #include "bench_common.hpp"
 #include "util/workload.hpp"
 
+#include <atomic>
+
 namespace {
 
 using namespace rcua::bench;
@@ -38,6 +40,41 @@ double run_zipf(const Params& p, std::uint64_t num_locales, double theta,
   return tput;
 }
 
+/// Zipfian READ workload on a QSBR array with an explicit block-cache
+/// capacity: the hot set concentrates on a few blocks, so with the cache
+/// on (100% capacity) remote reads collapse to O(hot blocks) fills —
+/// the cached column's gap over the uncached one widens with theta
+/// (bench_ablation_cache sweeps the capacity axis in detail).
+double run_zipf_reads(const Params& p, std::uint64_t num_locales,
+                      double theta, double zetan, std::size_t cache_bytes) {
+  rcua::rt::Cluster cluster(
+      {.num_locales = static_cast<std::uint32_t>(num_locales),
+       .workers_per_locale = p.tasks_per_locale + 2});
+  rcua::RCUArray<std::uint64_t, rcua::QsbrPolicy> arr(
+      cluster, p.array_elems,
+      {.block_size = p.block_size, .cache_capacity_bytes = cache_bytes});
+  const std::uint64_t total_ops = num_locales *
+                                  static_cast<std::uint64_t>(p.tasks_per_locale) *
+                                  p.ops_per_task;
+  std::atomic<std::uint64_t> sink{0};
+  const double tput = measure_tasks(
+      cluster, p.tasks_per_locale, total_ops, p.wallclock,
+      [&](std::uint32_t l, std::uint32_t t) {
+        const std::uint64_t gid =
+            static_cast<std::uint64_t>(l) * p.tasks_per_locale + t;
+        rcua::util::ZipfGenerator zipf(p.array_elems, theta,
+                                       rcua::plat::mix64(p.seed ^ (gid + 1)),
+                                       zetan);
+        std::uint64_t acc = 0;
+        for (std::uint64_t n = 0; n < p.ops_per_task; ++n) {
+          acc += arr.read(zipf.next());
+        }
+        sink.fetch_add(acc, std::memory_order_relaxed);
+      });
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+  return tput;
+}
+
 }  // namespace
 
 int main() {
@@ -47,18 +84,26 @@ int main() {
       "Ablation: Zipfian access skew (8 locales)",
       "(not a paper figure) theta swept 0.2 -> 0.99 (YCSB default)",
       "throughput rises with skew for QSBR/Chapel (hot blocks stream); "
-      "EBR stays pinned by its reader-counter serialization");
+      "EBR stays pinned by its reader-counter serialization; the cached "
+      "read column (block cache at 100% capacity, DESIGN.md §11) pulls "
+      "away from the uncached one as the hot set shrinks");
 
-  rcua::util::Table table({"theta", "EBRArray", "QSBRArray", "ChapelArray"});
+  const std::size_t array_bytes =
+      static_cast<std::size_t>(p.array_elems) * sizeof(std::uint64_t);
+  rcua::util::Table table({"theta", "EBRArray", "QSBRArray", "ChapelArray",
+                           "QSBR-read", "QSBR-read-cached"});
   for (const double theta : {0.2, 0.5, 0.8, 0.99}) {
     const double zetan =
         rcua::util::ZipfGenerator::compute_zetan(p.array_elems, theta);
     const double ebr = run_zipf<EbrArrayImpl>(p, 8, theta, zetan);
     const double qsbr = run_zipf<QsbrArrayImpl>(p, 8, theta, zetan);
     const double chapel = run_zipf<ChapelArrayImpl>(p, 8, theta, zetan);
+    const double rd = run_zipf_reads(p, 8, theta, zetan, 0);
+    const double rd_cached = run_zipf_reads(p, 8, theta, zetan, array_bytes);
     table.add_row({rcua::util::Table::fixed(theta, 2),
                    rcua::util::Table::num(ebr), rcua::util::Table::num(qsbr),
-                   rcua::util::Table::num(chapel)});
+                   rcua::util::Table::num(chapel), rcua::util::Table::num(rd),
+                   rcua::util::Table::num(rd_cached)});
     std::printf("... theta=%.2f done\n", theta);
   }
   std::printf("\n");

@@ -35,10 +35,14 @@ import sys
 # (skew, impl, cap, window, elems, ...) identifies the configuration.
 # The async counters (bench_ablation_async) are deterministic too: the
 # simulated cluster issues, completes, and windows ops as a pure function
-# of the workload. Entries from benches that predate a counter simply
-# omit the key on both sides and compare equal.
+# of the workload — and so are the block-cache counters
+# (bench_ablation_cache runs one task per locale, making hit/miss/fill/
+# eviction sequences single-consumer per locale). Entries from benches
+# that predate a counter simply omit the key on both sides and compare
+# equal.
 COMM_COUNTERS = ("gets", "puts", "executes",
-                 "issued", "completed", "max_inflight")
+                 "issued", "completed", "max_inflight",
+                 "hits", "misses", "fills", "evictions")
 
 RETRY_FACTOR = 10
 RETRY_SLACK = 1000

@@ -28,15 +28,16 @@ import sys
 import time
 
 # Default suite: the stripes ablation, the reclaim shoot-out (striped vs
-# legacy vs every baseline), one Figure-2 cell, and the aggregation and
-# async-pipelining ablations (their comm_stat counters feed
-# scripts/check_bench_gate.py).
+# legacy vs every baseline), one Figure-2 cell, and the aggregation,
+# async-pipelining, and block-cache ablations (their comm_stat counters
+# feed scripts/check_bench_gate.py).
 DEFAULT_BENCHES = [
     "bench_ablation_ebr_stripes",
     "bench_ablation_reclaim",
     "bench_fig2a_random_small",
     "bench_ablation_aggregation",
     "bench_ablation_async",
+    "bench_ablation_cache",
 ]
 MICRO_BENCH = "bench_micro_primitives"
 

@@ -49,6 +49,19 @@ class Block {
   [[nodiscard]] std::uint32_t owner() const noexcept { return owner_; }
   /// Globally unique block identity (drives the locality cost model).
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Write-generation stamp for the per-locale block cache (DESIGN.md
+  /// §11): writers bump it (release) AFTER their element store lands, and
+  /// a cache fill samples it (acquire) BEFORE copying — so a cached copy
+  /// holding a pre-write value is always tagged with a pre-write
+  /// generation, and the next lookup's compare invalidates it. No
+  /// broadcast: the stamp lives with the block, not with any cache.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void bump_generation() noexcept {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
   [[nodiscard]] T* data() noexcept { return data_.get(); }
   [[nodiscard]] const T* data() const noexcept { return data_.get(); }
 
@@ -62,6 +75,7 @@ class Block {
   std::size_t capacity_;
   std::uint32_t owner_;
   std::uint64_t id_;
+  std::atomic<std::uint64_t> generation_{0};
 
   static inline std::atomic<std::uint64_t> next_id_{1};
   static inline std::atomic<std::uint64_t> live_{0};

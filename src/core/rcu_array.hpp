@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -20,6 +21,7 @@
 #include "reclaim/qsbr.hpp"
 #include "reclaim/stall_monitor.hpp"
 #include "runtime/aggregator.hpp"
+#include "runtime/block_cache.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/fault_plan.hpp"
 #include "runtime/global_lock.hpp"
@@ -96,6 +98,15 @@ class RCUArray {
     /// many injected broadcast drops the plan is ignored, so resize_add
     /// terminates under any plan.
     std::uint32_t max_publish_attempts = 64;
+    /// Sentinel for cache_capacity_bytes: defer to the environment.
+    static constexpr std::size_t kCacheCapacityFromEnv =
+        static_cast<std::size_t>(-1);
+    /// Per-locale remote-block cache capacity in BYTES (rt::BlockCache).
+    /// 0 disables the cache entirely — every access takes exactly the
+    /// uncached path, bit-identical charges and comm counters. The
+    /// default defers to RCUA_CACHE_CAPACITY_BYTES (itself defaulting
+    /// to 0 = off). See DESIGN.md §11.
+    std::size_t cache_capacity_bytes = kCacheCapacityFromEnv;
   };
 
   static constexpr bool uses_qsbr = Policy::is_qsbr;
@@ -111,12 +122,18 @@ class RCUArray {
                      ? options.stall_monitor
                      : &reclaim::StallMonitor::global()),
         max_publish_attempts_(options.max_publish_attempts),
+        cache_capacity_(options.cache_capacity_bytes ==
+                                Options::kCacheCapacityFromEnv
+                            ? rt::BlockCache::capacity_from_env()
+                            : options.cache_capacity_bytes),
         write_lock_(cluster, /*owner_locale=*/0),
         pid_(cluster.privatization().create()) {
     if (block_size_ == 0) throw std::invalid_argument("block_size == 0");
     cluster_.coforall_locales([&](std::uint32_t l) {
       auto* p = new PerLocale;
       p->global_snapshot.store(new Snapshot<T>(), std::memory_order_relaxed);
+      p->cache = std::make_unique<rt::BlockCache>(cluster_.comm(), l,
+                                                  cache_capacity_);
       cluster_.privatization().set(pid_, l, p);
     });
     if (initial_capacity > 0) resize_add(initial_capacity);
@@ -169,21 +186,41 @@ class RCUArray {
   /// read/write mixes on the same index are defined (§III-C contract);
   /// larger element types fall back to plain accesses and inherit the
   /// single-writer-per-index discipline those imply.
+  ///
+  /// With the block cache enabled (Options::cache_capacity_bytes > 0),
+  /// read() consults the calling locale's rt::BlockCache inside the
+  /// read-side section: a hit is charged a node-local copy instead of
+  /// remote traffic, a miss fills the whole block through AsyncComm and
+  /// caches it under the pinned snapshot version. The cached path is
+  /// bounds-checked (throws std::out_of_range) because cache tests race
+  /// reads against resize_remove; the uncached path keeps the paper's
+  /// assert-only contract.
   T read(std::size_t i) {
-    T& slot = index_rw(i, false);
-    if constexpr (plat::relaxed_capable_v<T>) {
-      return plat::relaxed_load(slot);
-    } else {
-      return slot;
+    if (!cache_enabled()) {
+      T& slot = index_rw(i, false);
+      if constexpr (plat::relaxed_capable_v<T>) {
+        return plat::relaxed_load(slot);
+      } else {
+        return slot;
+      }
     }
+    return read_cached(i);
   }
   void write(std::size_t i, T value) {
-    T& slot = index_rw(i, true);
+    Block<T>* blk = nullptr;
+    T& slot = index_rw(i, true, cache_enabled() ? &blk : nullptr);
     if constexpr (plat::relaxed_capable_v<T>) {
       plat::relaxed_store(slot, std::move(value));
     } else {
       slot = std::move(value);
     }
+    // Write-through coherence (DESIGN.md §11): the PUT above already
+    // updated the block; bumping its write generation AFTER the store
+    // lands (release) invalidates every cached copy of the block on its
+    // next lookup. No broadcast — the stamp travels with the block.
+    // Safe post-section for the same reason the store is: blocks are
+    // recycled, not reclaimed (Lemma 6).
+    if (blk != nullptr) blk->bump_generation();
   }
 
   // -- Resizing (Algorithm 3, Resize) ----------------------------------
@@ -306,6 +343,17 @@ class RCUArray {
       RCUA_SCHED_POINT("rcua.resize.publish");
       p.global_snapshot.store(fresh, std::memory_order_release);
       RCUA_SCHED_POINT("rcua.resize.published");
+      if (p.cache->enabled()) {
+        // Eviction interlock (DESIGN.md §11): drop this locale's cached
+        // copies of the dropped blocks BEFORE the reclamation below can
+        // free them — the drain-before-release rule extended to cache
+        // entries. Any fill still in flight for a dropped block drains
+        // inside its reader's pinned section, which the (blocking) EBR
+        // drain / QSBR checkpoint below waits out; after that the stale
+        // version tag turns every surviving entry into a lazy miss, but
+        // the ledger must not carry "live" bytes for freed blocks.
+        p.cache->invalidate_tail(array_id(), keep);
+      }
       if constexpr (Policy::is_qsbr) {
         qsbr_->defer_delete(old);
       } else {
@@ -361,6 +409,10 @@ class RCUArray {
             p.ebr);
       }
       snapshot_ = p.global_snapshot.load(std::memory_order_acquire);
+      // Hoist the pinned snapshot version onto the guard once: every
+      // consumer (cache tags, charging) reads this value instead of
+      // re-deriving it from the snapshot per access.
+      version_ = snapshot_->version();
       sim::charge(sim::CostModel::get().atomic_load_ns);
     }
 
@@ -370,6 +422,8 @@ class RCUArray {
     [[nodiscard]] std::size_t num_blocks() const noexcept {
       return snapshot_->num_blocks();
     }
+    /// The snapshot version pinned at construction (DESIGN.md §11).
+    [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
     const T& operator[](std::size_t i) const {
       const std::size_t bidx = i / arr_.block_size_;
@@ -384,6 +438,7 @@ class RCUArray {
    private:
     RCUArray& arr_;
     Snapshot<T>* snapshot_;
+    std::uint64_t version_ = 0;
     std::unique_ptr<typename Policy::Reclaimer::ReadGuard> guard_;
   };
 
@@ -574,6 +629,26 @@ class RCUArray {
   }
 
   [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+
+  // -- Block cache observability (rt::BlockCache; DESIGN.md §11) --------
+
+  /// True when the per-locale remote-block cache is active (capacity>0).
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return cache_capacity_ > 0;
+  }
+  [[nodiscard]] std::size_t cache_capacity_bytes() const noexcept {
+    return cache_capacity_;
+  }
+  [[nodiscard]] rt::BlockCache::Stats cache_stats_at(
+      std::uint32_t locale) const {
+    return priv_at(locale).cache->stats();
+  }
+  [[nodiscard]] std::size_t cache_bytes_used_at(std::uint32_t locale) const {
+    return priv_at(locale).cache->bytes_used();
+  }
+  [[nodiscard]] std::size_t cache_entries_at(std::uint32_t locale) const {
+    return priv_at(locale).cache->entries();
+  }
   [[nodiscard]] std::uint64_t resize_count() const noexcept {
     return resizes_.load(std::memory_order_relaxed);
   }
@@ -655,6 +730,9 @@ class RCUArray {
     /// dereferenced under locale l's EBR instance (the snapshot pointer
     /// is privatized).
     reclaim::OverflowRetireList overflow;
+    /// Per-locale remote-block cache (DESIGN.md §11); constructed with
+    /// the array, disabled when capacity is 0.
+    std::unique_ptr<rt::BlockCache> cache;
   };
 
   [[nodiscard]] static std::size_t spine_bytes(
@@ -789,6 +867,18 @@ class RCUArray {
             std::to_string(first) + "+" + std::to_string(count) +
             ") exceeds capacity " + std::to_string(s->capacity()));
       }
+      // The pinned snapshot version, hoisted ONCE — the cache tags below
+      // and the sched/charge paths all read this same value instead of
+      // re-deriving it per span.
+      const std::uint64_t pinned_version = s->version();
+      const bool use_cache = cache_enabled() && !is_write;
+      const bool bump_gens = cache_enabled() && is_write;
+      // Cache-miss fills in flight. Each block appears in at most one
+      // span (spans are maximal per-block runs), so no per-block dedup
+      // is needed; fills PIPELINE under the async window alongside each
+      // other and are served after the drain below, still in-section.
+      std::vector<BlockFill> fills;
+      std::optional<rt::AsyncComm> fill_async;
       const double copy_ns = m.bulk_copy_ns_per_elem;
       std::size_t i = first;
       while (i < end) {
@@ -803,10 +893,43 @@ class RCUArray {
         const std::uint64_t bid = b->id();
         const std::uint32_t owner = b->owner();
         const std::size_t base = i;
+        if (use_cache && owner != here) {
+          sim::charge(m.cache_lookup_ns);
+          const std::uint64_t gen = b->generation();
+          if (auto cached =
+                  p.cache->lookup(array_id(), bidx, pinned_version, gen)) {
+            // Hit: serve the span inline from the node-local copy. The
+            // const_cast is sound because is_write is false — span_fn
+            // only reads through the pointer (bulk_read/for_each_block
+            // contract).
+            sim::charge(m.cache_copy_ns_per_elem *
+                        static_cast<double>(len));
+            span_fn(base,
+                    const_cast<T*>(reinterpret_cast<const T*>(
+                        cached.get())) + off,
+                    len);
+          } else {
+            if (!fill_async) {
+              fill_async.emplace(cluster_.comm(), here,
+                                 rt::AsyncComm::Options{.window = opts.window});
+            }
+            BlockFill f = issue_fill(*fill_async, p, *b, bidx);
+            f.base = base;
+            f.off = off;
+            f.len = len;
+            fills.push_back(std::move(f));
+          }
+          i += len;
+          continue;
+        }
         agg.push(owner, len, [=, &span_fn]() {
           sim::touch_block(bid, owner != here, is_write);
           sim::charge(copy_ns * static_cast<double>(len));
           span_fn(base, data, len);
+          // Write-through coherence: the stores above landed; bumping
+          // the generation now invalidates every locale's cached copy
+          // of this block on its next lookup (DESIGN.md §11).
+          if (bump_gens) b->bump_generation();
         });
         i += len;
       }
@@ -821,6 +944,19 @@ class RCUArray {
         if (!RCUA_SCHED_MUT(async_drain_after_release)) {
           agg.drain();
         }
+      }
+      // Cache fills always complete INSIDE the section, unconditionally:
+      // the aggregator mutations above model aggregator bugs, and each
+      // fill's completion copies out of a pinned block. insert() only
+      // ever sees the completed copy — a fill that unwinds (exception,
+      // cancelled session) never inserts, so no partial-block entry can
+      // exist.
+      for (BlockFill& f : fills) {
+        const std::uint64_t fill_gen = f.done.get();
+        p.cache->insert(array_id(), f.bidx, pinned_version, fill_gen, f.buf,
+                        block_size_ * sizeof(T));
+        sim::charge(m.cache_copy_ns_per_elem * static_cast<double>(f.len));
+        span_fn(f.base, reinterpret_cast<T*>(f.buf.get()) + f.off, f.len);
       }
     };
 
@@ -847,7 +983,7 @@ class RCUArray {
     }
   }
 
-  T& index_rw(std::size_t i, bool is_write) {
+  T& index_rw(std::size_t i, bool is_write, Block<T>** out_block = nullptr) {
     const auto& m = sim::CostModel::get();
     sim::charge(m.rcua_index_ns);
     PerLocale& p = priv();
@@ -859,6 +995,7 @@ class RCUArray {
       RCUA_SCHED_POINT("rcua.index.deref_spine");
       assert(bidx < s->num_blocks() && "index beyond current capacity");
       Block<T>* b = s->block(bidx);
+      if (out_block != nullptr) *out_block = b;
       cluster_.comm().record_access(here, b->owner(), is_write);
       sim::touch_block(b->id(), b->owner() != here, is_write,
                        m.rcua_spine_miss_ns);
@@ -891,6 +1028,131 @@ class RCUArray {
     }
   }
 
+  // -- Block cache machinery (DESIGN.md §11) ---------------------------
+
+  /// Cache key namespace: one id per array instance (pids are unique for
+  /// the cluster's lifetime, and per-locale caches die with the array).
+  [[nodiscard]] std::uint64_t array_id() const noexcept {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid_));
+  }
+
+  /// One in-flight whole-block cache fill. The future resolves — at
+  /// completion, which always lands inside the filler's pinned section —
+  /// to the write generation sampled immediately BEFORE the copy, so a
+  /// cached copy holding a pre-write value always carries a pre-write
+  /// generation (the stale-tag direction the coherence argument needs).
+  struct BlockFill {
+    rt::future<std::uint64_t> done;
+    std::shared_ptr<std::byte[]> buf;
+    std::size_t bidx = 0;
+    // The span that missed, served from `buf` after the fill drains
+    // (bulk path; read() serves the single element itself).
+    std::size_t base = 0;
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
+  /// Issues ONE whole-block fetch of `b` through `async` and counts one
+  /// fill: the single remote execute that replaces O(elements) remote
+  /// traffic for every later hit. The completion closure runs on the
+  /// destination's timeline, inside the caller's pinned section, and
+  /// copies with per-element relaxed loads (§III-C element races stay
+  /// defined).
+  BlockFill issue_fill(rt::AsyncComm& async, PerLocale& p, Block<T>& b,
+                       std::size_t bidx) {
+    BlockFill f;
+    f.bidx = bidx;
+    const std::size_t n = block_size_;
+    f.buf = std::shared_ptr<std::byte[]>(new std::byte[n * sizeof(T)]);
+    T* dst = reinterpret_cast<T*>(f.buf.get());
+    Block<T>* bp = &b;
+    p.cache->note_fill();
+    f.done = async.execute(
+        b.owner(), /*weight=*/n, [bp, dst, n]() -> std::uint64_t {
+          RCUA_SCHED_POINT("rcua.cache.fill_copy");
+          const std::uint64_t gen = bp->generation();  // BEFORE the copy
+          const T* src = bp->data();
+          if constexpr (plat::relaxed_capable_v<T>) {
+            for (std::size_t k = 0; k < n; ++k) {
+              dst[k] = plat::relaxed_load(src[k]);
+            }
+          } else {
+            std::copy(src, src + n, dst);
+          }
+          sim::charge(sim::CostModel::get().cache_copy_ns_per_elem *
+                      static_cast<double>(n));
+          return gen;
+        });
+    return f;
+  }
+
+  /// read() with the cache enabled: consult the calling locale's
+  /// BlockCache inside the read-side section; a hit costs one lookup
+  /// plus one node-local element copy, a miss fills the whole block and
+  /// inserts it under the pinned snapshot version. Local blocks take
+  /// exactly the uncached charging (caching one's own blocks would only
+  /// add a copy).
+  T read_cached(std::size_t i) {
+    const auto& m = sim::CostModel::get();
+    sim::charge(m.rcua_index_ns);
+    PerLocale& p = priv();
+    const std::size_t bidx = i / block_size_;
+    const std::size_t off = i % block_size_;
+    const std::uint32_t here = cluster_.here();
+
+    auto body = [&](Snapshot<T>* s) -> T {
+      sim::charge(m.atomic_load_ns);
+      if (rt::FaultPlan* plan = cluster_.fault_plan()) {
+        plan->stall_here(here);  // chaos: stall while holding the snapshot
+      }
+      RCUA_SCHED_POINT("rcua.index.deref_spine");
+      if (bidx >= s->num_blocks()) {
+        throw std::out_of_range(
+            "RCUArray::read: index " + std::to_string(i) + " >= capacity " +
+            std::to_string(s->capacity()));
+      }
+      // The pinned version is hoisted off the snapshot ONCE — the cache
+      // tag, the sched points and the charges below all read this value.
+      const std::uint64_t pinned_version = s->version();
+      Block<T>* b = s->block(bidx);
+      if (b->owner() == here) {
+        cluster_.comm().record_access(here, here, false);
+        sim::touch_block(b->id(), false, false, m.rcua_spine_miss_ns);
+        if constexpr (plat::relaxed_capable_v<T>) {
+          return plat::relaxed_load((*b)[off]);
+        } else {
+          return (*b)[off];
+        }
+      }
+      sim::charge(m.cache_lookup_ns);
+      const std::uint64_t gen = b->generation();
+      auto cached = p.cache->lookup(array_id(), bidx, pinned_version, gen);
+      if (cached == nullptr) {
+        // Miss: fill the whole block. The future drains HERE, inside
+        // the section — the copy source is the pinned snapshot's block
+        // (the drain-before-release rule extended to fills).
+        rt::AsyncComm async(cluster_.comm(), here);
+        BlockFill f = issue_fill(async, p, *b, bidx);
+        const std::uint64_t fill_gen = f.done.get();
+        p.cache->insert(array_id(), bidx, pinned_version, fill_gen, f.buf,
+                        block_size_ * sizeof(T));
+        cached = f.buf;
+      }
+      sim::charge(m.cache_copy_ns_per_elem);
+      return reinterpret_cast<const T*>(cached.get())[off];
+    };
+
+    if constexpr (Policy::is_qsbr) {
+      qsbr_->ensure_participant();
+      return body(p.global_snapshot.load(std::memory_order_acquire));
+    } else {
+      // Explicit guard (not ebr.read): the bounds check above may throw,
+      // and the guard's destructor retracts on unwind.
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      return body(p.global_snapshot.load(std::memory_order_acquire));
+    }
+  }
+
   template <typename F>
   [[nodiscard]] auto with_snapshot(F&& fn) const {
     PerLocale& p = priv();
@@ -910,6 +1172,7 @@ class RCUArray {
   reclaim::StallPolicy stall_policy_;
   reclaim::StallMonitor* monitor_;
   std::uint32_t max_publish_attempts_;
+  std::size_t cache_capacity_;
   rt::GlobalLock write_lock_;
   int pid_;
   std::atomic<std::uint64_t> resizes_{0};

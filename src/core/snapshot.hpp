@@ -32,6 +32,13 @@ class Snapshot {
     live_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Monotonic per-array version stamp: 0 for the construction-time empty
+  /// spine, +1 on every clone (i.e. every published resize). The stamp is
+  /// the coherence tag of the per-locale block cache (DESIGN.md §11): a
+  /// cached block copy is tagged with the version pinned at fill time, and
+  /// any entry tagged older than the pinned version is treated as a miss.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
   ~Snapshot() {
     // Spine only; blocks are owned by the array.
     live_.fetch_sub(1, std::memory_order_relaxed);
@@ -45,6 +52,7 @@ class Snapshot {
   static Snapshot* clone_append(const Snapshot& old,
                                 std::span<Block<T>* const> new_blocks) {
     auto* s = new Snapshot;
+    s->version_ = old.version_ + 1;
     s->blocks_.reserve(old.blocks_.size() + new_blocks.size());
     s->blocks_.insert(s->blocks_.end(), old.blocks_.begin(), old.blocks_.end());
     s->blocks_.insert(s->blocks_.end(), new_blocks.begin(), new_blocks.end());
@@ -59,6 +67,7 @@ class Snapshot {
   static Snapshot* clone_truncate(const Snapshot& old,
                                   std::size_t keep_blocks) {
     auto* s = new Snapshot;
+    s->version_ = old.version_ + 1;
     keep_blocks = keep_blocks < old.blocks_.size() ? keep_blocks
                                                    : old.blocks_.size();
     s->blocks_.assign(old.blocks_.begin(),
@@ -106,6 +115,7 @@ class Snapshot {
 
  private:
   std::vector<Block<T>*> blocks_;
+  std::uint64_t version_ = 0;
   static inline std::atomic<std::uint64_t> live_{0};
 };
 

@@ -90,6 +90,25 @@ void CommLayer::note_async_inflight(std::uint32_t locale,
   }
 }
 
+void CommLayer::note_cache_hit(std::uint32_t locale) noexcept {
+  stats_[locale].value.cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommLayer::note_cache_miss(std::uint32_t locale) noexcept {
+  stats_[locale].value.cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommLayer::note_cache_fill(std::uint32_t locale) noexcept {
+  stats_[locale].value.cache_fills.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommLayer::note_cache_evictions(std::uint32_t locale,
+                                     std::uint64_t n) noexcept {
+  if (n == 0) return;
+  stats_[locale].value.cache_evictions.fetch_add(n,
+                                                 std::memory_order_relaxed);
+}
+
 std::uint64_t CommLayer::gets(std::uint32_t locale) const noexcept {
   return stats_[locale].value.gets.load(std::memory_order_relaxed);
 }
@@ -118,6 +137,22 @@ std::uint64_t CommLayer::async_max_inflight(
     std::uint32_t locale) const noexcept {
   return stats_[locale].value.async_max_inflight.load(
       std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::cache_hits(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.cache_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::cache_misses(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.cache_misses.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::cache_fills(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.cache_fills.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CommLayer::cache_evictions(std::uint32_t locale) const noexcept {
+  return stats_[locale].value.cache_evictions.load(std::memory_order_relaxed);
 }
 
 std::uint64_t CommLayer::total_gets() const noexcept {
@@ -161,6 +196,30 @@ std::uint64_t CommLayer::max_async_inflight() const noexcept {
   for (std::uint32_t l = 0; l < num_locales(); ++l) {
     n = std::max(n, async_max_inflight(l));
   }
+  return n;
+}
+
+std::uint64_t CommLayer::total_cache_hits() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_hits(l);
+  return n;
+}
+
+std::uint64_t CommLayer::total_cache_misses() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_misses(l);
+  return n;
+}
+
+std::uint64_t CommLayer::total_cache_fills() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_fills(l);
+  return n;
+}
+
+std::uint64_t CommLayer::total_cache_evictions() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_evictions(l);
   return n;
 }
 

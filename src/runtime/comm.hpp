@@ -39,6 +39,15 @@ struct CommStats {
   std::atomic<std::uint64_t> async_completed{0};
   std::atomic<std::uint64_t> async_cancelled{0};
   std::atomic<std::uint64_t> async_max_inflight{0};
+  // Per-locale block cache (rt::BlockCache) counters. Deterministic for
+  // a fixed workload with one consumer task per locale (the bench-gate
+  // configs); a hit replaces a would-be remote GET/execute, a fill is
+  // the one remote execute that fetched the whole block, an eviction is
+  // a capacity- or staleness-driven entry drop.
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> cache_fills{0};
+  std::atomic<std::uint64_t> cache_evictions{0};
 
   void reset() noexcept {
     gets.store(0, std::memory_order_relaxed);
@@ -48,6 +57,10 @@ struct CommStats {
     async_completed.store(0, std::memory_order_relaxed);
     async_cancelled.store(0, std::memory_order_relaxed);
     async_max_inflight.store(0, std::memory_order_relaxed);
+    cache_hits.store(0, std::memory_order_relaxed);
+    cache_misses.store(0, std::memory_order_relaxed);
+    cache_fills.store(0, std::memory_order_relaxed);
+    cache_evictions.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -99,6 +112,12 @@ class CommLayer {
   /// Raises the locale's in-flight high-water mark to at least `depth`.
   void note_async_inflight(std::uint32_t locale, std::size_t depth) noexcept;
 
+  // Block-cache counter hooks (called by rt::BlockCache).
+  void note_cache_hit(std::uint32_t locale) noexcept;
+  void note_cache_miss(std::uint32_t locale) noexcept;
+  void note_cache_fill(std::uint32_t locale) noexcept;
+  void note_cache_evictions(std::uint32_t locale, std::uint64_t n) noexcept;
+
   [[nodiscard]] std::uint64_t gets(std::uint32_t locale) const noexcept;
   [[nodiscard]] std::uint64_t puts(std::uint32_t locale) const noexcept;
   [[nodiscard]] std::uint64_t executes(std::uint32_t locale) const noexcept;
@@ -109,6 +128,11 @@ class CommLayer {
       std::uint32_t locale) const noexcept;
   [[nodiscard]] std::uint64_t async_max_inflight(
       std::uint32_t locale) const noexcept;
+  [[nodiscard]] std::uint64_t cache_hits(std::uint32_t locale) const noexcept;
+  [[nodiscard]] std::uint64_t cache_misses(std::uint32_t locale) const noexcept;
+  [[nodiscard]] std::uint64_t cache_fills(std::uint32_t locale) const noexcept;
+  [[nodiscard]] std::uint64_t cache_evictions(
+      std::uint32_t locale) const noexcept;
 
   [[nodiscard]] std::uint64_t total_gets() const noexcept;
   [[nodiscard]] std::uint64_t total_puts() const noexcept;
@@ -118,6 +142,10 @@ class CommLayer {
   [[nodiscard]] std::uint64_t total_async_cancelled() const noexcept;
   /// Max over locales (a high-water mark does not sum meaningfully).
   [[nodiscard]] std::uint64_t max_async_inflight() const noexcept;
+  [[nodiscard]] std::uint64_t total_cache_hits() const noexcept;
+  [[nodiscard]] std::uint64_t total_cache_misses() const noexcept;
+  [[nodiscard]] std::uint64_t total_cache_fills() const noexcept;
+  [[nodiscard]] std::uint64_t total_cache_evictions() const noexcept;
 
   void reset() noexcept;
 

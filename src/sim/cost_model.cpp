@@ -16,6 +16,9 @@ void CostModel::load_env() {
   alloc_block_ns = env_f64("RCUA_COST_ALLOC_BLOCK_NS", alloc_block_ns);
   spine_copy_ns_per_block =
       env_f64("RCUA_COST_SPINE_COPY_NS_PER_BLOCK", spine_copy_ns_per_block);
+  cache_lookup_ns = env_f64("RCUA_COST_CACHE_LOOKUP_NS", cache_lookup_ns);
+  cache_copy_ns_per_elem =
+      env_f64("RCUA_COST_CACHE_COPY_NS_PER_ELEM", cache_copy_ns_per_elem);
   remote_execute_ns = env_f64("RCUA_COST_REMOTE_EXECUTE_NS", remote_execute_ns);
   task_spawn_ns = env_f64("RCUA_COST_TASK_SPAWN_NS", task_spawn_ns);
   async_issue_ns = env_f64("RCUA_COST_ASYNC_ISSUE_NS", async_issue_ns);

@@ -36,6 +36,15 @@ struct CostModel {
   double alloc_block_ns = 3000.0;
   /// Copying one block *pointer* while cloning a snapshot spine.
   double spine_copy_ns_per_block = 1.0;
+  /// Probing the per-locale block cache (rt::BlockCache): one hash
+  /// lookup plus the version/generation tag compare. Paid on every
+  /// cache-eligible access, hit or miss — it is what a miss costs over
+  /// the uncached path.
+  double cache_lookup_ns = 25.0;
+  /// Copying one element between a cached block copy and the caller
+  /// (node-local memcpy bandwidth; cheaper than bulk_copy_ns_per_elem,
+  /// which models wire bandwidth).
+  double cache_copy_ns_per_elem = 2.0;
 
   // -- Tasking and communication --------------------------------------
   /// Spawning a task on a *remote* locale (active message + scheduling).

@@ -98,6 +98,17 @@ struct Mutations {
   /// closes a concurrent resize_remove's grace period can free those
   /// blocks before the drain runs — the §10 completion-drain rule.
   bool async_drain_after_release = false;
+  /// Block cache: serve a cached block copy without checking its
+  /// snapshot-version and write-generation tags (rt::BlockCache::lookup).
+  /// Plausible (the bytes were copied under a pinned snapshot, and
+  /// Lemma 6's recycling means the block indices "still mean the same
+  /// thing" across a resize_add) but unsound: a resize_remove +
+  /// resize_add can free the copied block and put a *different* block at
+  /// the same index, and a concurrent write() bumps the generation the
+  /// copy was filled under — in both cases the entry is invalidated-but-
+  /// present, and serving it is a stale read of reclaimed state
+  /// (DESIGN.md §11; tests/test_sched_cache.cpp).
+  bool cache_use_after_invalidate = false;
 };
 [[nodiscard]] Mutations& mutations() noexcept;
 

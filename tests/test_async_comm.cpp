@@ -274,8 +274,13 @@ TEST(AsyncComm, WindowOneMatchesSyncVirtualTimeExactly) {
   rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 1});
   constexpr std::size_t kBlock = 64;
   constexpr std::size_t kElems = 16 * kBlock;
-  RCUArray<std::uint64_t, QsbrPolicy> arr(cluster, kElems,
-                                          {.block_size = kBlock});
+  // Cache pinned off: a cache-enabled first scan charges fills and the
+  // second scan hits, so the sync/async-w1 charge sequences this test
+  // EXPECT_EQs would no longer be comparable under the nightly
+  // RCUA_CACHE_CAPACITY_BYTES sweep.
+  RCUArray<std::uint64_t, QsbrPolicy> arr(
+      cluster, kElems,
+      {.block_size = kBlock, .cache_capacity_bytes = 0});
   const std::uint64_t sync_ns =
       scan_vtime(arr, kElems, {.async = false});
   const std::uint64_t async1_ns =
@@ -292,8 +297,11 @@ TEST(AsyncComm, DefaultWindowPipelinesWholeArrayScanAtLeast5x) {
   rt::Cluster cluster({.num_locales = 8, .workers_per_locale = 1});
   constexpr std::size_t kBlock = 64;
   constexpr std::size_t kElems = 64 * kBlock;
-  RCUArray<std::uint64_t, QsbrPolicy> arr(cluster, kElems,
-                                          {.block_size = kBlock});
+  // Cache pinned off so the speedup measured is the async pipeline's,
+  // not the block cache's (see WindowOneMatchesSyncVirtualTimeExactly).
+  RCUArray<std::uint64_t, QsbrPolicy> arr(
+      cluster, kElems,
+      {.block_size = kBlock, .cache_capacity_bytes = 0});
   const std::uint64_t sync_ns =
       scan_vtime(arr, kElems, {.async = false});
   const std::uint64_t async_ns =

@@ -136,8 +136,11 @@ TEST(BulkOps, CommVolumeIsPerBlockNotPerElement) {
   // per destination flush — where the elementwise loop records one GET
   // per remote element.
   rt::Cluster cluster({.num_locales = 4, .workers_per_locale = 2});
-  RCUArray<std::uint64_t, EbrPolicy> arr(cluster, 16 * 64,
-                                         {.block_size = 64});
+  // Cache pinned off: the elementwise baseline below asserts one GET
+  // per remote element, which the nightly RCUA_CACHE_CAPACITY_BYTES
+  // sweep would otherwise turn into O(blocks) fills.
+  RCUArray<std::uint64_t, EbrPolicy> arr(
+      cluster, 16 * 64, {.block_size = 64, .cache_capacity_bytes = 0});
   const std::size_t n = arr.capacity();
   ASSERT_EQ(n, 16u * 64u);  // block i owned by locale i % 4
   for (std::size_t i = 0; i < n; ++i) arr.write(i, pattern(i));

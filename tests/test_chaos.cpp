@@ -296,6 +296,71 @@ TEST(Chaos, BudgetBreachFallsBackToBlockingDrain) {
   cluster.set_fault_plan(nullptr);
 }
 
+TEST(Chaos, SlowRemoteAndKilledWorkerMidCacheFillLeaveNoPartialEntries) {
+  // Faults landing mid-cache-fill (DESIGN.md §11): a slow-remote rule
+  // delays every fill's remote fetch, and a worker is killed while
+  // cached reads are running on the pool. Each fill must either
+  // complete (whole-block insert) or be discarded on unwind — never a
+  // partial-block entry — and the workload must finish inside the stall
+  // budget with no stale or corrupt value served.
+  rt::FaultPlan plan(/*seed=*/17);  // outlives the cluster's workers
+  rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  constexpr std::size_t kBlock = 64;
+  constexpr std::size_t kBlockBytes = kBlock * sizeof(int);
+  rcua::RCUArray<int, rcua::EbrPolicy> arr(
+      cluster, 4 * kBlock,
+      {.block_size = kBlock, .cache_capacity_bytes = 1u << 20});
+  for (std::size_t i = 0; i < arr.capacity(); ++i) {
+    arr.write(i, static_cast<int>(i));
+  }
+
+  plan.add({.action = rt::FaultPlan::Action::kSlowRemote,
+            .locale = 1,
+            .fire_from = 1,
+            .fire_count = UINT64_MAX,
+            .delay_ns = 200 * 1000});  // every fill to locale 1 is slow
+  plan.add({.action = rt::FaultPlan::Action::kKillWorker,
+            .fire_from = 1,
+            .fire_count = 1});  // dies while fills are in flight
+  cluster.set_fault_plan(&plan);
+
+  const auto start = Clock::now();
+  // Cached reads from POOL tasks on every locale (so the killed worker
+  // lands inside the workload), racing element writes that invalidate
+  // and force refills under the same faults.
+  std::atomic<int> bad{0};
+  for (int round = 0; round < 5; ++round) {
+    cluster.coforall_tasks(2, [&](std::uint32_t, std::uint32_t) {
+      for (std::size_t i = 0; i < arr.capacity(); ++i) {
+        if (arr.read(i) != static_cast<int>(i)) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    EXPECT_EQ(bad.load(), 0) << "round " << round;
+    const std::size_t idx = kBlock + static_cast<std::size_t>(round);
+    arr.write(idx, 1000 + round);  // invalidate a hot remote block
+    EXPECT_EQ(arr.read(idx), 1000 + round);
+    arr.write(idx, static_cast<int>(idx));  // restore for the next round
+  }
+  EXPECT_LT(elapsed_ms(start), 5000u) << "cache fills blew the stall budget";
+  EXPECT_TRUE(
+      eventually([&] { return cluster.pool().killed_workers() >= 1; }));
+  EXPECT_GE(plan.fired(rt::FaultPlan::Action::kSlowRemote), 1u);
+
+  // No partial-block entries: every resident and every ever-inserted
+  // byte is a whole block, and the ledger balances on both locales.
+  for (std::uint32_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(arr.cache_bytes_used_at(l) % kBlockBytes, 0u);
+    const auto cs = arr.cache_stats_at(l);
+    EXPECT_EQ(cs.inserted_bytes % kBlockBytes, 0u);
+    EXPECT_EQ(cs.evicted_bytes % kBlockBytes, 0u);
+    EXPECT_EQ(cs.inserted_bytes,
+              cs.evicted_bytes + arr.cache_bytes_used_at(l));
+  }
+  cluster.set_fault_plan(nullptr);
+}
+
 TEST(Chaos, QsbrReaderStallNeverBlocksResize) {
   // Under QSBR a resize defers the spine unconditionally, so even a long
   // mid-section stall cannot slow it — and the stalled reader's

@@ -76,7 +76,11 @@ TEST_F(ChargingTest, QsbrRandomAlternationPaysSpineMissEachSwitch) {
 
 TEST_F(ChargingTest, RemoteBlockChargesGetThenStream) {
   rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 1});
-  RCUArray<std::uint64_t, QsbrPolicy> arr(cluster, 2 * 64, {.block_size = 64});
+  // Cache pinned off: this asserts the UNCACHED remote-read charge
+  // sequence, which the nightly RCUA_CACHE_CAPACITY_BYTES sweep would
+  // otherwise replace with a fill + local copies.
+  RCUArray<std::uint64_t, QsbrPolicy> arr(
+      cluster, 2 * 64, {.block_size = 64, .cache_capacity_bytes = 0});
   ASSERT_EQ(arr.block_owner(64), 1u);  // remote from locale 0
   sim::TaskClock clock;
   {
@@ -231,7 +235,10 @@ TEST_F(ChargingTest, RcuResizeCostIndependentOfExistingData) {
 
 TEST_F(ChargingTest, CommCountersMatchChargedAccesses) {
   rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 1});
-  RCUArray<std::uint64_t, QsbrPolicy> arr(cluster, 2 * 64, {.block_size = 64});
+  // Cache pinned off: asserts the uncached GET/PUT counters (see
+  // RemoteBlockChargesGetThenStream).
+  RCUArray<std::uint64_t, QsbrPolicy> arr(
+      cluster, 2 * 64, {.block_size = 64, .cache_capacity_bytes = 0});
   cluster.comm().reset();
   sim::TaskClock clock;
   {

@@ -144,7 +144,13 @@ TYPED_TEST(RcuArrayTyped, SnapshotsReplicatedPerLocale) {
 
 TYPED_TEST(RcuArrayTyped, LocalBlockAccessIsCommunicationFree) {
   rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
-  typename TestFixture::Array arr(cluster, 2 * 64, {.block_size = 64});
+  // Cache pinned off: this test asserts the UNCACHED read protocol's
+  // exact comm counters, which the nightly RCUA_CACHE_CAPACITY_BYTES
+  // sweep would otherwise change (a cached remote read records a fill,
+  // not a GET).
+  typename TestFixture::Array arr(cluster, 2 * 64,
+                                  {.block_size = 64,
+                                   .cache_capacity_bytes = 0});
   cluster.comm().reset();
   // Block 0 lives on locale 0; access from locale 0 must not count comm.
   ASSERT_EQ(arr.block_owner(0), 0u);

@@ -51,8 +51,13 @@ rcua::rt::ClusterConfig small_cluster() {
 }
 
 struct State {
+  // Cache pinned OFF (not just env-default off): these tests prove the
+  // *aggregator* mutations are findable, and a cache-enabled read path
+  // would serve block 1 from a local copy instead of issuing the async
+  // flush under test (the nightly RCUA_CACHE_CAPACITY_BYTES sweep runs
+  // this suite with the cache forced huge).
   explicit State(rcua::rt::Cluster& c)
-      : arr(c, 0, {.block_size = kBlock}) {}
+      : arr(c, 0, {.block_size = kBlock, .cache_capacity_bytes = 0}) {}
 
   RCUArray<int, EbrPolicy> arr;
   std::atomic<bool> ready{false};

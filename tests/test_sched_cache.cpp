@@ -1,0 +1,262 @@
+// Schedule-exploration tests for the per-locale block cache's coherence
+// protocol (rt::BlockCache under RCUArray::read, DESIGN.md §11).
+//
+// The protocol line under test is the tag compare in BlockCache::lookup:
+// an entry is only served when its snapshot-version tag matches the
+// reader's pinned version AND its write-generation tag matches the
+// block's current generation. The `cache_use_after_invalidate` mutation
+// drops the compare — plausible (the bytes were copied under a pinned
+// snapshot, and Lemma 6's recycling means block indices "still mean the
+// same thing" across resize_add) — and the harness must find the
+// schedule where a remote write() lands between the fill and the next
+// lookup, so the invalidated-but-present entry is served as a stale
+// read.
+//
+// The resize_remove arm of the protocol (the eviction interlock:
+// invalidate_tail drops cached copies of removed blocks BEFORE their
+// memory is freed, and a post-replacement read must see the replacement
+// block's values, never the dead block's copy) is exercised by the same
+// scenario and asserted by the final read plus the byte-ledger check.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rcu_array.hpp"
+#include "runtime/cluster.hpp"
+#include "testing/scheduler.hpp"
+
+namespace {
+
+using rcua::EbrPolicy;
+using rcua::RCUArray;
+using rcua::testing::ExploreMode;
+using rcua::testing::ExploreOptions;
+using rcua::testing::ExploreResult;
+using rcua::testing::ScopedMutation;
+using rcua::testing::Scheduler;
+
+constexpr std::uint32_t kLocales = 2;
+constexpr std::size_t kBlock = 4;
+
+rcua::rt::ClusterConfig small_cluster() {
+  rcua::rt::ClusterConfig cfg;
+  cfg.num_locales = kLocales;
+  cfg.workers_per_locale = 1;
+  return cfg;
+}
+
+struct State {
+  explicit State(rcua::rt::Cluster& c)
+      : arr(c, 0,
+            {.block_size = kBlock, .cache_capacity_bytes = 1u << 20}) {}
+
+  RCUArray<int, EbrPolicy> arr;
+  std::atomic<bool> ready{false};
+  std::atomic<bool> updated{false};
+  std::atomic<bool> refilled{false};
+};
+
+/// Writer: grow to two blocks (block 0 on locale 0, block 1 on locale 1
+/// — remote from the scheduled tasks, which run as locale 0), fill via
+/// the aggregated write path, signal the reader, then (a) overwrite one
+/// element of the remote block — the write-through PUT plus the
+/// generation bump that must invalidate any cached copy — and (b) if
+/// `replacement`, replace the whole block via resize_remove +
+/// resize_add + refill, so a cached copy of the DEAD block would be
+/// detectably wrong. The random explorer runs the full scenario; the
+/// bounded-DFS test drops the replacement phase (its two extra resizes
+/// roughly double the schedule-point count, pushing the
+/// preemption-bounded tree past any practical budget) — the mutation's
+/// findable window (fill -> generation bump -> lookup) lives entirely
+/// in the core phases.
+void writer_task(const std::shared_ptr<State>& st, bool replacement) {
+  st->arr.resize_add(2 * kBlock);
+  std::vector<int> vals(2 * kBlock);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<int>(i) + 1;
+  }
+  st->arr.bulk_write(0, std::span<const int>(vals.data(), vals.size()));
+  st->ready.store(true, std::memory_order_seq_cst);
+  st->arr.write(kBlock, 999);  // remote write-through + generation bump
+  st->updated.store(true, std::memory_order_seq_cst);
+  if (!replacement) {
+    return;
+  }
+  st->arr.resize_remove(kBlock);  // frees block 1 (after invalidate_tail)
+  st->arr.resize_add(kBlock);     // a DIFFERENT block now backs index 1
+  std::vector<int> fresh(kBlock, 777);
+  st->arr.bulk_write(kBlock, std::span<const int>(fresh.data(),
+                                                  fresh.size()));
+  st->refilled.store(true, std::memory_order_seq_cst);
+}
+
+/// Reader: three cached reads of element kBlock (the remote block's
+/// first element), each bracketed by the writer's phases, each asserting
+/// exactly the values the coherence protocol allows at that point.
+void reader_task(const std::shared_ptr<State>& st, bool replacement) {
+  rcua::testing::sched_await("test.wait_ready", [st] {
+    return st->ready.load(std::memory_order_seq_cst);
+  });
+  // Read 1: fills the cache with a copy of block 1. The scheduler may
+  // delay it past ANY writer phase, so every value the writer ever
+  // stores at this index is legitimate: the bulk fill, the overwrite,
+  // the replacement block's zero fill, or the refill.
+  try {
+    const int r1 = st->arr.read(kBlock);
+    if (r1 != static_cast<int>(kBlock) + 1 && r1 != 999 && r1 != 0 &&
+        r1 != 777) {
+      rcua::testing::sched_violation(
+          "cached read returned a value never written to the block");
+      return;
+    }
+  } catch (const std::out_of_range&) {
+    // resize_remove won the race before this read pinned its snapshot.
+  }
+  rcua::testing::sched_await("test.wait_updated", [st] {
+    return st->updated.load(std::memory_order_seq_cst);
+  });
+  // Read 2: the write landed before `updated` was set, so a fresh (or
+  // tag-validated) copy can see 999, the replacement block's zero fill,
+  // or 777 — but NEVER the pre-write value: that is exactly the stale
+  // cached copy the generation compare exists to reject.
+  try {
+    const int r2 = st->arr.read(kBlock);
+    if (r2 == static_cast<int>(kBlock) + 1) {
+      rcua::testing::sched_violation(
+          "stale cached copy served after the write-generation bump "
+          "invalidated it");
+      return;
+    }
+    if (r2 != 999 && r2 != 0 && r2 != 777) {
+      rcua::testing::sched_violation(
+          "cached read returned a value never written to the block");
+      return;
+    }
+  } catch (const std::out_of_range&) {
+    // Pinned a truncated snapshot mid-replacement; legitimate.
+  }
+  if (!replacement) {
+    return;
+  }
+  rcua::testing::sched_await("test.wait_refilled", [st] {
+    return st->refilled.load(std::memory_order_seq_cst);
+  });
+  // Read 3: the replacement block is published and refilled; any cached
+  // copy of the FREED block was dropped by the eviction interlock, so
+  // this must observe the replacement's value.
+  const int r3 = st->arr.read(kBlock);
+  if (r3 != 777) {
+    rcua::testing::sched_violation(
+        "read after block replacement served a dead block's cached copy");
+  }
+}
+
+void cache_invalidate_scenario(rcua::rt::Cluster& cluster,
+                               Scheduler& sched,
+                               bool replacement = true) {
+  auto st = std::make_shared<State>(cluster);
+  sched.spawn("reader", [st, replacement] { reader_task(st, replacement); });
+  sched.spawn("writer", [st, replacement] { writer_task(st, replacement); });
+  sched.on_finish([st](Scheduler& s) {
+    // Byte-ledger invariant: every byte ever inserted was either evicted
+    // (capacity, staleness, or the resize interlock) or is still
+    // resident. A violation here means an entry was dropped without
+    // being accounted — the interlock lost track of cached bytes.
+    for (std::uint32_t l = 0; l < kLocales; ++l) {
+      const auto cs = st->arr.cache_stats_at(l);
+      if (cs.inserted_bytes !=
+          cs.evicted_bytes + st->arr.cache_bytes_used_at(l)) {
+        s.violation("cache byte ledger does not balance");
+        return;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+TEST(SchedCache, MutationUseAfterInvalidateFound) {
+  rcua::rt::Cluster cluster(small_cluster());
+  ScopedMutation mut(
+      &rcua::testing::mutations().cache_use_after_invalidate);
+
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kRandom;
+  opts.schedules = 4000;
+  const ExploreResult result = rcua::testing::explore(
+      opts,
+      [&cluster](Scheduler& s) { cache_invalidate_scenario(cluster, s); });
+  ASSERT_TRUE(result.found)
+      << "serving a cached copy without the version/generation tag "
+         "compare must be caught";
+
+  // The printed seed replays the violating schedule deterministically.
+  ExploreOptions replay;
+  replay.mode = ExploreMode::kRandom;
+  replay.schedules = 1;
+  replay.base_seed = result.seed;
+  replay.quiet = true;
+  const ExploreResult again = rcua::testing::explore(
+      replay,
+      [&cluster](Scheduler& s) { cache_invalidate_scenario(cluster, s); });
+  ASSERT_TRUE(again.found) << "seed " << result.seed << " did not replay";
+  EXPECT_EQ(again.message, result.message);
+}
+
+TEST(SchedCache, MutationUseAfterInvalidateFoundByDfs) {
+  rcua::rt::Cluster cluster(small_cluster());
+  ScopedMutation mut(
+      &rcua::testing::mutations().cache_use_after_invalidate);
+
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kDfs;
+  opts.schedules = 20000;
+  opts.preemption_bound = 2;
+  const ExploreResult result = rcua::testing::explore(
+      opts, [&cluster](Scheduler& s) {
+        cache_invalidate_scenario(cluster, s, /*replacement=*/false);
+      });
+  ASSERT_TRUE(result.found)
+      << "the fill->write->lookup window needs two preemptions; bounded "
+         "DFS must reach it (ran "
+      << result.schedules_run << " schedules)";
+}
+
+TEST(SchedCache, NegativeControlRandom) {
+  // Unmutated: the tag compare rejects every invalidated entry, the
+  // interlock drops dead blocks' copies before their memory goes, and
+  // fills drain inside the pinned section — no schedule may produce a
+  // stale read, a value never written, or an unbalanced byte ledger.
+  rcua::rt::Cluster cluster(small_cluster());
+
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kRandom;
+  opts.schedules = 400;
+  opts.stop_on_violation = false;
+  const ExploreResult result = rcua::testing::explore(
+      opts,
+      [&cluster](Scheduler& s) { cache_invalidate_scenario(cluster, s); });
+  EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
+  EXPECT_EQ(result.schedules_run,
+            rcua::testing::effective_schedule_budget(opts));
+}
+
+TEST(SchedCache, NegativeControlDfs) {
+  rcua::rt::Cluster cluster(small_cluster());
+
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kDfs;
+  opts.schedules = 2000;
+  opts.preemption_bound = 1;
+  opts.stop_on_violation = false;
+  const ExploreResult result = rcua::testing::explore(
+      opts,
+      [&cluster](Scheduler& s) { cache_invalidate_scenario(cluster, s); });
+  EXPECT_FALSE(result.found) << result.message << "\n" << result.trace;
+}
