@@ -40,10 +40,12 @@ struct CommTotals {
 /// One configuration: `cap` == 0 is the elementwise read() baseline,
 /// otherwise the bulk path with that aggregation buffer capacity.
 /// Returns throughput (elements/s); fills `out` with the comm counters
-/// of the measured region (deterministic for a fixed env).
+/// of the measured region (deterministic for a fixed env) and emits an
+/// `obs_stat` line with per-round virtual-time latency percentiles
+/// (QSBR's charges are pure per-task, so det=1: exact-match gated).
 double run_cfg(const Params& p, std::uint32_t num_locales, Skew skew,
-               std::size_t cap, CommTotals* out,
-               std::uint64_t* out_elems) {
+               std::size_t cap, const std::string& impl_name,
+               CommTotals* out, std::uint64_t* out_elems) {
   rcua::rt::Cluster cluster(
       {.num_locales = num_locales,
        .workers_per_locale = p.tasks_per_locale + 2});
@@ -62,11 +64,15 @@ double run_cfg(const Params& p, std::uint32_t num_locales, Skew skew,
   // Construction resizes record executes of their own; measure from a
   // clean slate so the gated counters cover exactly the workload.
   cluster.comm().reset();
+  LatencyRecorder latency(static_cast<std::size_t>(num_locales) *
+                          p.tasks_per_locale);
   const double tput = measure_tasks(
       cluster, p.tasks_per_locale, total_elems, p.wallclock,
       [&](std::uint32_t l, std::uint32_t t) {
         const std::uint64_t gid =
             static_cast<std::uint64_t>(l) * p.tasks_per_locale + t;
+        const auto lane = static_cast<std::size_t>(gid);
+        latency.reserve(lane, rounds);
         rcua::plat::Xoshiro256 rng(rcua::plat::mix64(p.seed ^ (gid + 1)));
         std::vector<std::uint64_t> scratch(elems_per_round);
         for (std::uint64_t r = 0; r < rounds; ++r) {
@@ -79,6 +85,7 @@ double run_cfg(const Params& p, std::uint32_t num_locales, Skew skew,
                 (l + 1 + rng.next_below(num_locales - 1)) % num_locales;
             first = (o + num_locales * rng.next_below(own_blocks)) * bs;
           }
+          const std::uint64_t t0 = LatencyRecorder::clock_ns();
           if (cap == 0) {
             for (std::uint64_t i = 0; i < elems_per_round; ++i) {
               scratch[i] = arr->read(first + i);
@@ -87,6 +94,7 @@ double run_cfg(const Params& p, std::uint32_t num_locales, Skew skew,
             arr->bulk_read(first, elems_per_round, scratch.data(),
                            {.buffer_capacity = cap});
           }
+          latency.sample(lane, t0);
         }
       });
 
@@ -94,6 +102,13 @@ double run_cfg(const Params& p, std::uint32_t num_locales, Skew skew,
   out->puts = cluster.comm().total_puts();
   out->executes = cluster.comm().total_executes();
   *out_elems = total_elems;
+  // Per-round (one block / one whole-array scan) latency percentiles.
+  latency.emit(rcua::obs::StatLine("obs_stat")
+                   .kv("bench", "aggregation")
+                   .kv("skew", skew_name(skew))
+                   .kv("impl", impl_name)
+                   .kv("locales", num_locales),
+               QsbrArrayImpl::kDetVtime && !p.wallclock);
   rcua::reclaim::Qsbr::global().flush_unsafe();
   return tput;
 }
@@ -128,22 +143,23 @@ int main() {
     for (const std::size_t cap : caps) {
       CommTotals c;
       std::uint64_t elems = 0;
-      const double tput = run_cfg(p, kLocales, skew, cap, &c, &elems);
       const std::string impl =
           cap == 0 ? "elementwise" : "bulk-cap" + std::to_string(cap);
+      const double tput = run_cfg(p, kLocales, skew, cap, impl, &c, &elems);
       table.add_row({skew_name(skew), impl, rcua::util::Table::num(tput),
                      std::to_string(c.gets), std::to_string(c.puts),
                      std::to_string(c.executes)});
       // Machine-readable comm counters for the bench-json pipeline and
       // the deterministic CI gate (scripts/check_bench_gate.py).
-      std::printf(
-          "comm_stat skew=%s impl=%s cap=%zu gets=%llu puts=%llu "
-          "executes=%llu elems=%llu\n",
-          skew_name(skew), impl.c_str(), cap,
-          static_cast<unsigned long long>(c.gets),
-          static_cast<unsigned long long>(c.puts),
-          static_cast<unsigned long long>(c.executes),
-          static_cast<unsigned long long>(elems));
+      rcua::obs::StatLine("comm_stat")
+          .kv("skew", skew_name(skew))
+          .kv("impl", impl)
+          .kv("cap", cap)
+          .kv("gets", c.gets)
+          .kv("puts", c.puts)
+          .kv("executes", c.executes)
+          .kv("elems", elems)
+          .print();
     }
     std::printf("... skew=%s done\n", skew_name(skew));
   }

@@ -126,18 +126,18 @@ int main() {
                      std::to_string(c.max_inflight)});
       // Machine-readable counters for the bench-json pipeline and the
       // deterministic CI gate (scripts/check_bench_gate.py).
-      std::printf(
-          "comm_stat lat=%llu impl=%s window=%zu gets=%llu puts=%llu "
-          "executes=%llu issued=%llu completed=%llu max_inflight=%llu "
-          "elems=%llu\n",
-          static_cast<unsigned long long>(lat), impl.c_str(), window,
-          static_cast<unsigned long long>(c.gets),
-          static_cast<unsigned long long>(c.puts),
-          static_cast<unsigned long long>(c.executes),
-          static_cast<unsigned long long>(c.issued),
-          static_cast<unsigned long long>(c.completed),
-          static_cast<unsigned long long>(c.max_inflight),
-          static_cast<unsigned long long>(elems));
+      rcua::obs::StatLine("comm_stat")
+          .kv("lat", static_cast<std::uint64_t>(lat))
+          .kv("impl", impl)
+          .kv("window", window)
+          .kv("gets", c.gets)
+          .kv("puts", c.puts)
+          .kv("executes", c.executes)
+          .kv("issued", c.issued)
+          .kv("completed", c.completed)
+          .kv("max_inflight", c.max_inflight)
+          .kv("elems", elems)
+          .print();
     }
     std::printf("... latency=%.0f done\n", lat);
   }

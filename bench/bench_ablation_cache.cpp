@@ -42,8 +42,9 @@ struct CacheTotals {
 /// cache counters deterministic). Returns throughput; fills `out` with
 /// the comm + cache counters and `out_sum` with the read checksum.
 double run_cfg(const Params& p, std::uint32_t num_locales, double theta,
-               double zetan, std::size_t cap_bytes, CacheTotals* out,
-               std::uint64_t* out_sum, std::uint64_t* out_ops) {
+               double zetan, const char* cap_name, std::size_t cap_bytes,
+               CacheTotals* out, std::uint64_t* out_sum,
+               std::uint64_t* out_ops) {
   rcua::rt::Cluster cluster(
       {.num_locales = num_locales, .workers_per_locale = 4});
   rcua::RCUArray<std::uint64_t, rcua::QsbrPolicy> arr(
@@ -74,15 +75,20 @@ double run_cfg(const Params& p, std::uint32_t num_locales, double theta,
   // The fill above records PUTs (and bumps generations); measure from a
   // clean slate so the gated counters cover exactly the read workload.
   cluster.comm().reset();
+  LatencyRecorder latency(num_locales);
   const double tput = measure_tasks(
       cluster, /*tasks_per_locale=*/1, total_ops, p.wallclock,
       [&](std::uint32_t l, std::uint32_t) {
         rcua::util::ZipfGenerator zipf(p.array_elems, theta,
                                        rcua::plat::mix64(p.seed ^ (l + 1)),
                                        zetan);
+        latency.reserve(l, reads_per_task);
         std::uint64_t acc = 0;
         for (std::uint64_t n = 0; n < reads_per_task; ++n) {
-          acc += arr.read(zipf.next());
+          const std::uint64_t i = zipf.next();
+          const std::uint64_t t0 = LatencyRecorder::clock_ns();
+          acc += arr.read(i);
+          latency.sample(l, t0);
         }
         sum.fetch_add(acc, std::memory_order_relaxed);
       });
@@ -96,6 +102,15 @@ double run_cfg(const Params& p, std::uint32_t num_locales, double theta,
   out->evictions = cluster.comm().total_cache_evictions();
   *out_sum = sum.load(std::memory_order_relaxed);
   *out_ops = total_ops;
+  // Per-read latency percentiles: one reader task per locale, QSBR
+  // charges are pure per-task, so the virtual-time values are exact-
+  // match gated (det=1) like the cache counters themselves.
+  latency.emit(rcua::obs::StatLine("obs_stat")
+                   .kv("bench", "cache")
+                   .kv_fixed("theta", theta, 2)
+                   .kv("cap", cap_name)
+                   .kv("locales", num_locales),
+               !p.wallclock);
   rcua::reclaim::Qsbr::global().flush_unsafe();
   return tput;
 }
@@ -138,8 +153,8 @@ int main() {
     for (const auto& [cap_name, cap_bytes] : caps) {
       CacheTotals c;
       std::uint64_t sum = 0, ops = 0;
-      const double tput =
-          run_cfg(p, kLocales, theta, zetan, cap_bytes, &c, &sum, &ops);
+      const double tput = run_cfg(p, kLocales, theta, zetan, cap_name,
+                                  cap_bytes, &c, &sum, &ops);
       if (cap_bytes == 0) {
         off_tput = tput;
         off_sum = sum;
@@ -161,18 +176,18 @@ int main() {
                      std::to_string(c.evictions)});
       // Machine-readable counters for the bench-json pipeline and the
       // deterministic CI gate (scripts/check_bench_gate.py).
-      std::printf(
-          "comm_stat theta=%.2f cap=%s gets=%llu puts=%llu "
-          "executes=%llu hits=%llu misses=%llu fills=%llu "
-          "evictions=%llu ops=%llu\n",
-          theta, cap_name, static_cast<unsigned long long>(c.gets),
-          static_cast<unsigned long long>(c.puts),
-          static_cast<unsigned long long>(c.executes),
-          static_cast<unsigned long long>(c.hits),
-          static_cast<unsigned long long>(c.misses),
-          static_cast<unsigned long long>(c.fills),
-          static_cast<unsigned long long>(c.evictions),
-          static_cast<unsigned long long>(ops));
+      rcua::obs::StatLine("comm_stat")
+          .kv_fixed("theta", theta, 2)
+          .kv("cap", cap_name)
+          .kv("gets", c.gets)
+          .kv("puts", c.puts)
+          .kv("executes", c.executes)
+          .kv("hits", c.hits)
+          .kv("misses", c.misses)
+          .kv("fills", c.fills)
+          .kv("evictions", c.evictions)
+          .kv("ops", ops)
+          .print();
     }
     std::printf("... theta=%.2f done\n", theta);
   }

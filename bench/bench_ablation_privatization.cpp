@@ -16,6 +16,10 @@ using namespace rcua::bench;
 /// from any locale other than 0.
 struct CentralMetaImpl {
   static constexpr const char* kName = "CentralMeta";
+  // Whether virtual-time per-op latencies replay exactly across runs
+  // (pure per-task charges; see LatencyRecorder). QSBR underneath, and
+  // the extra metadata-fetch charge is per-task too.
+  static constexpr bool kDetVtime = true;
   struct type {
     QsbrArrayImpl::type arr;
     rcua::rt::Cluster& cluster;

@@ -19,6 +19,6 @@ int main() {
       "hazard pointers >> rwlock > global lock");
   run_indexing_figure<ChapelArrayImpl, QsbrArrayImpl, EbrArrayImpl,
                       LegacyEbrArrayImpl, HazardArrayImpl, RwlockArrayImpl,
-                      SyncArrayImpl>(p, Pattern::kRandom);
+                      SyncArrayImpl>(p, Pattern::kRandom, "reclaim");
   return 0;
 }

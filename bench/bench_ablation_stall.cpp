@@ -46,8 +46,6 @@ struct CellResult {
   std::size_t leftover_bytes = 0;  // after the final flush; must be 0
 };
 
-void quiet_sink(const reclaim::StallDiagnostic&, void*) {}
-
 CellResult run_cell(std::uint64_t deadline_ns, std::uint64_t stall_ns,
                     double stall_prob, std::uint32_t readers,
                     std::uint64_t resizes, const Params& p) {
@@ -56,7 +54,7 @@ CellResult run_cell(std::uint64_t deadline_ns, std::uint64_t stall_ns,
 
   reclaim::StallMonitor monitor(/*budget_bytes=*/0,
                                 reclaim::StallMonitor::Escalation::kWarn);
-  monitor.set_sink(&quiet_sink, nullptr);  // the table reports totals
+  monitor.set_sink(nullptr);  // silent: the table reports totals
 
   using Array = rcua::RCUArray<std::uint64_t, rcua::EbrPolicy>;
   Array::Options opts;

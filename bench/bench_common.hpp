@@ -16,6 +16,8 @@
 //   RCUA_WALLCLOCK        1 = measure wall time instead of virtual time
 //   RCUA_COST_*           cost-model overrides (see sim/cost_model.hpp)
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -25,9 +27,11 @@
 #include <vector>
 
 #include "rcua.hpp"
+#include "obs/metrics.hpp"
 #include "platform/rng.hpp"
 #include "platform/timing.hpp"
 #include "util/env.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace rcua::bench {
@@ -74,6 +78,66 @@ inline const char* pattern_name(Pattern p) {
   return p == Pattern::kRandom ? "random" : "sequential";
 }
 
+/// Per-operation latency sampler behind the `obs_stat` pipeline
+/// (DESIGN.md §12): each task owns one lane (no sharing, no locks in
+/// the measured region), ops are timed in *virtual* time when a
+/// TaskClock is attached and wall time otherwise, and emit() merges the
+/// lanes into p50/p99/p999 printed through obs::StatLine. Reading the
+/// clock charges nothing, so sampling never moves a throughput number.
+///
+/// The `det` flag emitted with each line tells scripts/check_bench_gate
+/// whether the percentiles are exact-match gated: virtual-time
+/// latencies are deterministic only for impls whose charges are pure
+/// per-task functions of the workload (see kDetVtime on the impl
+/// adapters); impls that contend on shared sim::VirtualResource lines
+/// depend on real-thread arrival order, so their percentiles are
+/// recorded for the artifact but not gated.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t lanes) : lanes_(lanes) {}
+
+  [[nodiscard]] static std::uint64_t clock_ns() noexcept {
+    return sim::enabled() ? sim::now_v() : plat::now_ns();
+  }
+
+  /// The caller guarantees lane `i` is touched by exactly one task.
+  void sample(std::size_t i, std::uint64_t start_ns) {
+    lanes_[i].push_back(static_cast<double>(clock_ns() - start_ns));
+  }
+
+  void reserve(std::size_t i, std::size_t n) { lanes_[i].reserve(n); }
+
+  /// Appends n/p50_ns/p99_ns/p999_ns to `line` and prints it. Call
+  /// after the coforall joined (the join is the happens-before edge
+  /// that makes the lanes safe to merge).
+  void emit(obs::StatLine line, bool deterministic) const {
+    std::vector<double> all;
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.size();
+    all.reserve(total);
+    for (const auto& lane : lanes_) {
+      all.insert(all.end(), lane.begin(), lane.end());
+    }
+    std::sort(all.begin(), all.end());
+    line.kv("det", static_cast<std::uint64_t>(deterministic ? 1 : 0))
+        .kv("n", static_cast<std::uint64_t>(all.size()))
+        .kv("p50_ns", quantile_u64(all, 0.50))
+        .kv("p99_ns", quantile_u64(all, 0.99))
+        .kv("p999_ns", quantile_u64(all, 0.999))
+        .print();
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t quantile_u64(
+      const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0;
+    return static_cast<std::uint64_t>(
+        std::llround(util::quantile_sorted(sorted, q)));
+  }
+
+  std::vector<std::vector<double>> lanes_;
+};
+
 /// Measures one coforall_tasks region: returns aggregate throughput in
 /// operations per second of (virtual or wall) time.
 template <typename Body>
@@ -97,6 +161,9 @@ double measure_tasks(rt::Cluster& cluster, std::uint32_t tasks_per_locale,
 // ---- Implementation adapters (uniform construction + naming) ----------
 
 struct EbrArrayImpl {
+  /// Whether virtual-time per-op latencies replay exactly across runs
+  /// (pure per-task charges; see LatencyRecorder).
+  static constexpr bool kDetVtime = false;
   static constexpr const char* kName = "EBRArray";
   using type = RCUArray<std::uint64_t, EbrPolicy>;
   static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
@@ -106,6 +173,9 @@ struct EbrArrayImpl {
 };
 
 struct LegacyEbrArrayImpl {
+  /// Whether virtual-time per-op latencies replay exactly across runs
+  /// (pure per-task charges; see LatencyRecorder).
+  static constexpr bool kDetVtime = false;
   static constexpr const char* kName = "EBRArray-legacy";
   using type = RCUArray<std::uint64_t, LegacyEbrPolicy>;
   static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
@@ -115,6 +185,9 @@ struct LegacyEbrArrayImpl {
 };
 
 struct QsbrArrayImpl {
+  /// Whether virtual-time per-op latencies replay exactly across runs
+  /// (pure per-task charges; see LatencyRecorder).
+  static constexpr bool kDetVtime = true;
   static constexpr const char* kName = "QSBRArray";
   using type = RCUArray<std::uint64_t, QsbrPolicy>;
   static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
@@ -124,6 +197,9 @@ struct QsbrArrayImpl {
 };
 
 struct ChapelArrayImpl {
+  /// Whether virtual-time per-op latencies replay exactly across runs
+  /// (pure per-task charges; see LatencyRecorder).
+  static constexpr bool kDetVtime = true;
   static constexpr const char* kName = "ChapelArray";
   using type = baseline::UnsafeArray<std::uint64_t>;
   static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
@@ -133,6 +209,9 @@ struct ChapelArrayImpl {
 };
 
 struct SyncArrayImpl {
+  /// Whether virtual-time per-op latencies replay exactly across runs
+  /// (pure per-task charges; see LatencyRecorder).
+  static constexpr bool kDetVtime = false;
   static constexpr const char* kName = "SyncArray";
   using type = baseline::SyncArray<std::uint64_t>;
   static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
@@ -142,6 +221,9 @@ struct SyncArrayImpl {
 };
 
 struct RwlockArrayImpl {
+  /// Whether virtual-time per-op latencies replay exactly across runs
+  /// (pure per-task charges; see LatencyRecorder).
+  static constexpr bool kDetVtime = false;
   static constexpr const char* kName = "RwlockArray";
   using type = baseline::RwlockArray<std::uint64_t>;
   static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
@@ -151,6 +233,9 @@ struct RwlockArrayImpl {
 };
 
 struct HazardArrayImpl {
+  /// Whether virtual-time per-op latencies replay exactly across runs
+  /// (pure per-task charges; see LatencyRecorder).
+  static constexpr bool kDetVtime = false;
   static constexpr const char* kName = "HazardArray";
   using type = baseline::HazardArray<std::uint64_t>;
   static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
@@ -161,10 +246,12 @@ struct HazardArrayImpl {
 
 /// The Figure 2 update-indexing workload for one (impl, locale count):
 /// every task performs ops_per_task update operations on random or
-/// sequential indices.
+/// sequential indices. When `bench_name` is non-null every write is
+/// individually timed and the merged p50/p99/p999 emitted as an
+/// `obs_stat` line (exact-match gated in CI when Impl::kDetVtime).
 template <typename Impl>
 double run_indexing(const Params& p, std::uint64_t num_locales,
-                    Pattern pattern) {
+                    Pattern pattern, const char* bench_name = nullptr) {
   rt::Cluster cluster({.num_locales = static_cast<std::uint32_t>(num_locales),
                        .workers_per_locale = p.tasks_per_locale + 2});
   auto arr = Impl::make(cluster, p.array_elems, p.block_size);
@@ -173,20 +260,39 @@ double run_indexing(const Params& p, std::uint64_t num_locales,
                                   static_cast<std::uint64_t>(p.tasks_per_locale) *
                                   p.ops_per_task;
 
+  const std::size_t lanes =
+      static_cast<std::size_t>(num_locales) * p.tasks_per_locale;
+  LatencyRecorder latency(bench_name != nullptr ? lanes : 0);
   const double tput = measure_tasks(
       cluster, p.tasks_per_locale, total_ops, p.wallclock,
       [&](std::uint32_t l, std::uint32_t t) {
         const std::uint64_t gid =
             static_cast<std::uint64_t>(l) * p.tasks_per_locale + t;
+        const auto lane = static_cast<std::size_t>(gid);
+        if (bench_name != nullptr) latency.reserve(lane, p.ops_per_task);
         if (pattern == Pattern::kRandom) {
           plat::Xoshiro256 rng(plat::mix64(p.seed ^ (gid + 1)));
           for (std::uint64_t n = 0; n < p.ops_per_task; ++n) {
-            arr->write(rng.next_below(cap), n);
+            const std::uint64_t i = rng.next_below(cap);
+            if (bench_name != nullptr) {
+              const std::uint64_t t0 = LatencyRecorder::clock_ns();
+              arr->write(i, n);
+              latency.sample(lane, t0);
+            } else {
+              arr->write(i, n);
+            }
           }
         } else {
           const std::uint64_t start = (gid * p.ops_per_task) % cap;
           for (std::uint64_t n = 0; n < p.ops_per_task; ++n) {
-            arr->write((start + n) % cap, n);
+            const std::uint64_t i = (start + n) % cap;
+            if (bench_name != nullptr) {
+              const std::uint64_t t0 = LatencyRecorder::clock_ns();
+              arr->write(i, n);
+              latency.sample(lane, t0);
+            } else {
+              arr->write(i, n);
+            }
           }
         }
       });
@@ -206,13 +312,23 @@ double run_indexing(const Params& p, std::uint64_t num_locales,
       retries += s.read_retries;
       advances += s.epoch_advances;
     }
-    std::printf(
-        "bench_stat impl=%s locales=%llu reads=%llu retries=%llu "
-        "epoch_advances=%llu\n",
-        Impl::kName, static_cast<unsigned long long>(num_locales),
-        static_cast<unsigned long long>(reads),
-        static_cast<unsigned long long>(retries),
-        static_cast<unsigned long long>(advances));
+    obs::StatLine("bench_stat")
+        .kv("impl", Impl::kName)
+        .kv("locales", num_locales)
+        .kv("reads", reads)
+        .kv("retries", retries)
+        .kv("epoch_advances", advances)
+        .print();
+  }
+
+  if (bench_name != nullptr) {
+    // Per-op latency percentiles (virtual-time unless RCUA_WALLCLOCK=1;
+    // wallclock runs are inherently nondeterministic, so not gated).
+    latency.emit(obs::StatLine("obs_stat")
+                     .kv("bench", bench_name)
+                     .kv("impl", Impl::kName)
+                     .kv("locales", num_locales),
+                 Impl::kDetVtime && !p.wallclock);
   }
 
   // QSBR best case in the paper uses no checkpoints; drop whatever the
@@ -221,15 +337,18 @@ double run_indexing(const Params& p, std::uint64_t num_locales,
   return tput;
 }
 
-/// Runs the full Figure 2 style sweep and prints the table.
+/// Runs the full Figure 2 style sweep and prints the table. A non-null
+/// `bench_name` turns on per-op latency sampling (obs_stat lines).
 template <typename... Impls>
-void run_indexing_figure(const Params& p, Pattern pattern) {
+void run_indexing_figure(const Params& p, Pattern pattern,
+                         const char* bench_name = nullptr) {
   std::vector<std::string> header{"locales"};
   (header.push_back(Impls::kName), ...);
   util::Table table(header);
   for (const std::uint64_t L : p.locales) {
     std::vector<std::string> row{std::to_string(L)};
-    (row.push_back(util::Table::num(run_indexing<Impls>(p, L, pattern))),
+    (row.push_back(
+         util::Table::num(run_indexing<Impls>(p, L, pattern, bench_name))),
      ...);
     table.add_row(std::move(row));
     std::printf("... locales=%llu done\n",

@@ -18,6 +18,6 @@ int main() {
       "SyncArray slowest and flat/degrading; QSBRArray slightly below "
       "ChapelArray; EBRArray scales but at ~4% of ChapelArray");
   run_indexing_figure<EbrArrayImpl, QsbrArrayImpl, ChapelArrayImpl,
-                      SyncArrayImpl>(p, Pattern::kRandom);
+                      SyncArrayImpl>(p, Pattern::kRandom, "fig2a");
   return 0;
 }

@@ -12,6 +12,6 @@ int main() {
       "SyncArray slowest; QSBRArray near-equivalent to ChapelArray on "
       "predictable access; EBRArray ~4% of ChapelArray");
   run_indexing_figure<EbrArrayImpl, QsbrArrayImpl, ChapelArrayImpl,
-                      SyncArrayImpl>(p, Pattern::kSequential);
+                      SyncArrayImpl>(p, Pattern::kSequential, "fig2b");
   return 0;
 }

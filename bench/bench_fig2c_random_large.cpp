@@ -14,6 +14,6 @@ int main() {
       "QSBRArray slightly below ChapelArray under random access; "
       "EBRArray under 2% of both");
   run_indexing_figure<EbrArrayImpl, QsbrArrayImpl, ChapelArrayImpl>(
-      p, Pattern::kRandom);
+      p, Pattern::kRandom, "fig2c");
   return 0;
 }

@@ -12,6 +12,6 @@ int main() {
       "QSBRArray exceeds ChapelArray by ~1.5x on sequential access; "
       "EBRArray under 2% of both");
   run_indexing_figure<EbrArrayImpl, QsbrArrayImpl, ChapelArrayImpl>(
-      p, Pattern::kSequential);
+      p, Pattern::kSequential, "fig2d");
   return 0;
 }

@@ -47,6 +47,14 @@ COMM_COUNTERS = ("gets", "puts", "executes",
 RETRY_FACTOR = 10
 RETRY_SLACK = 1000
 
+# obs_stat fields that are pure outcomes; everything else (bench, impl,
+# skew, det, ...) identifies the configuration. Virtual-time latency
+# percentiles are exact-match gated — but ONLY for entries flagged
+# det=1: an impl whose per-op virtual times go through a shared
+# sim::VirtualResource (EBR slot lines and friends) depends on
+# real-thread arrival order and is recorded without gating.
+OBS_COUNTERS = ("n", "p50_ns", "p99_ns", "p999_ns")
+
 
 def load(path):
     with open(path) as f:
@@ -81,6 +89,41 @@ def check_comm_stats(bench, base, cur, failures):
         label = " ".join(f"{k}={v}" for k, v in key)
         failures.append(
             f"{bench}: config [{label}] in the current run has no "
+            f"baseline entry (new config? refresh the baseline)"
+        )
+
+
+def obs_key(entry):
+    return tuple(
+        sorted((k, v) for k, v in entry.items() if k not in OBS_COUNTERS)
+    )
+
+
+def check_obs_stats(bench, base, cur, failures):
+    base_by_key = {obs_key(e): e for e in base}
+    cur_by_key = {obs_key(e): e for e in cur}
+    for key, b in base_by_key.items():
+        c = cur_by_key.get(key)
+        label = " ".join(f"{k}={v}" for k, v in key)
+        if c is None:
+            failures.append(
+                f"{bench}: obs config [{label}] present in baseline but "
+                f"missing from the current run"
+            )
+            continue
+        if b.get("det") != 1:
+            continue  # recorded for the artifact, not gated
+        for counter in OBS_COUNTERS:
+            if b.get(counter) != c.get(counter):
+                failures.append(
+                    f"{bench}: [{label}] {counter} changed "
+                    f"{b.get(counter)} -> {c.get(counter)} (virtual-time "
+                    f"percentiles are deterministic for det=1 entries)"
+                )
+    for key in cur_by_key.keys() - base_by_key.keys():
+        label = " ".join(f"{k}={v}" for k, v in key)
+        failures.append(
+            f"{bench}: obs config [{label}] in the current run has no "
             f"baseline entry (new config? refresh the baseline)"
         )
 
@@ -171,6 +214,10 @@ def main():
             continue
         check_comm_stats(
             bench, b.get("comm_stats") or [], c.get("comm_stats") or [],
+            failures,
+        )
+        check_obs_stats(
+            bench, b.get("obs_stats") or [], c.get("obs_stats") or [],
             failures,
         )
         check_bench_stats(

@@ -61,13 +61,31 @@ BENCH_STAT_RE = re.compile(
 # gate (scripts/check_bench_gate.py).
 COMM_STAT_RE = re.compile(r"^comm_stat\s+(?P<kv>(?:\S+=\S+\s*)+)$")
 
+# Observability stats: per-op virtual-time latency percentiles and other
+# registry-derived metrics, `obs_stat key=value ...`. Entries carry a
+# det=0/1 flag: det=1 means the values are a deterministic function of
+# the workload (pure per-task virtual-time charges) and are exact-match
+# gated by scripts/check_bench_gate.py; det=0 entries are recorded for
+# the artifact but not gated (their virtual times depend on real-thread
+# arrival order at shared VirtualResources).
+OBS_STAT_RE = re.compile(r"^obs_stat\s+(?P<kv>(?:\S+=\S+\s*)+)$")
+
+
+def _parse_kv(kv_text):
+    entry = {}
+    for pair in kv_text.split():
+        k, _, v = pair.partition("=")
+        entry[k] = int(v) if v.isdigit() else v
+    return entry
+
 
 def parse_bench_output(text):
-    """Extracts csv blocks, bench_stat and comm_stat lines from stdout."""
+    """Extracts csv blocks, bench_stat/comm_stat/obs_stat lines."""
     lines = text.splitlines()
     tables = []
     stats = []
     comm_stats = []
+    obs_stats = []
     i = 0
     while i < len(lines):
         line = lines[i]
@@ -85,11 +103,10 @@ def parse_bench_output(text):
             )
         m = COMM_STAT_RE.match(line)
         if m:
-            entry = {}
-            for pair in m.group("kv").split():
-                k, _, v = pair.partition("=")
-                entry[k] = int(v) if v.isdigit() else v
-            comm_stats.append(entry)
+            comm_stats.append(_parse_kv(m.group("kv")))
+        m = OBS_STAT_RE.match(line)
+        if m:
+            obs_stats.append(_parse_kv(m.group("kv")))
         if line.strip() == "csv:" and i + 1 < len(lines):
             header = lines[i + 1].split(",")
             rows = []
@@ -101,7 +118,7 @@ def parse_bench_output(text):
             i = j
             continue
         i += 1
-    return tables, stats, comm_stats
+    return tables, stats, comm_stats, obs_stats
 
 
 def run_binary(path, env, extra_args=None, timeout=1800):
@@ -164,13 +181,14 @@ def main():
         print(f"[bench-json] running {name} ...")
         started = time.time()
         code, out, err = run_binary(path, env)
-        tables, stats, comm_stats = parse_bench_output(out)
+        tables, stats, comm_stats, obs_stats = parse_bench_output(out)
         results[name] = {
             "returncode": code,
             "elapsed_s": round(time.time() - started, 3),
             "tables": tables,
             "bench_stats": stats,
             "comm_stats": comm_stats,
+            "obs_stats": obs_stats,
         }
         if code != 0:
             results[name]["stderr"] = err[-4000:]

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "platform/align.hpp"
 #include "platform/atomics.hpp"
 #include "platform/backoff.hpp"
@@ -232,6 +233,7 @@ class RCUArray {
     if (num_elements == 0) return;
     const std::size_t nblocks =
         (num_elements + block_size_ - 1) / block_size_;
+    obs::TraceSpan resize_span("rcua.resize_add", "rcua", nblocks);
 
     std::vector<Block<T>*> new_blocks;  // line 9
     new_blocks.reserve(nblocks);
@@ -291,11 +293,13 @@ class RCUArray {
           // Handle RCU directly with QSBR (lines 21-25).
           p.global_snapshot.store(fresh, std::memory_order_release);
           RCUA_SCHED_POINT("rcua.resize.published");
+          obs::trace_instant("rcua.resize.publish", "rcua", l);
           qsbr_->defer_delete(old);
         } else {
           // RCU_Write (Algorithm 1 lines 1-8); the clone/λ already ran.
           p.global_snapshot.store(fresh, std::memory_order_release);
           RCUA_SCHED_POINT("rcua.resize.published");
+          obs::trace_instant("rcua.resize.publish", "rcua", l);
           retire_spine_ebr(p, l, old);
         }
         p.next_locale_id = final_loc;  // line 28
@@ -324,6 +328,7 @@ class RCUArray {
   void resize_remove(std::size_t num_elements) {
     const std::size_t remove_blocks = num_elements / block_size_;
     if (remove_blocks == 0) return;
+    obs::TraceSpan resize_span("rcua.resize_remove", "rcua", remove_blocks);
     const auto& m = sim::CostModel::get();
     write_lock_.lock();
     Snapshot<T>* current =
@@ -343,6 +348,7 @@ class RCUArray {
       RCUA_SCHED_POINT("rcua.resize.publish");
       p.global_snapshot.store(fresh, std::memory_order_release);
       RCUA_SCHED_POINT("rcua.resize.published");
+      obs::trace_instant("rcua.resize.publish", "rcua", l);
       if (p.cache->enabled()) {
         // Eviction interlock (DESIGN.md §11): drop this locale's cached
         // copies of the dropped blocks BEFORE the reclamation below can
@@ -758,6 +764,7 @@ class RCUArray {
     // list and waits for both columns like everything else.
     if (drain.drained && p.overflow.pending_objects() == 0) {
       RCUA_SCHED_POINT("rcua.resize.retire_spine");
+      obs::trace_instant("rcua.resize.reclaim", "rcua", l);
       delete old;
       return true;
     }
@@ -791,6 +798,7 @@ class RCUArray {
           backoff.pause();
         }
         RCUA_SCHED_POINT("rcua.resize.retire_spine");
+        obs::trace_instant("rcua.resize.reclaim", "rcua", l);
         delete old;
         return true;
       }

@@ -1,0 +1,64 @@
+#pragma once
+
+// RCU health metrics (DESIGN.md §12): the handful of signals that tell
+// you whether reclamation is keeping up, named once here so every
+// subsystem records into the same registry entries.
+//
+// All handles live in Registry::global() (process-wide, like the
+// reclamation domains that feed them) and are resolved once through a
+// function-local static — the hot path is the metric's own relaxed RMW.
+// Comm-side health (async in-flight depth, cache hit ratio) lives in
+// the per-CommLayer registry instead; see runtime/comm.hpp.
+
+#include "obs/metrics.hpp"
+
+namespace rcua::obs::health {
+
+/// Grace-period duration: how long writers waited for readers, from
+/// EBR wait_for_readers / try_wait_for_readers, Qsbr::try_synchronize
+/// and call_rcu's helper drain. Timed-out waits record the full
+/// deadline — the tail of this histogram is the stalled-reader signal.
+inline Histogram& grace_ns() {
+  static Histogram& h = Registry::global().histogram("rcua.rcu.grace_ns");
+  return h;
+}
+
+/// Read-side critical-section dwell time. Recorded only when
+/// detailed_metrics_enabled() (RCUA_METRICS=1): the read path is the
+/// one place where even two extra clock reads are measurable.
+inline Histogram& reader_dwell_ns() {
+  static Histogram& h =
+      Registry::global().histogram("rcua.rcu.reader_dwell_ns");
+  return h;
+}
+
+/// High-water epoch lag: max over observations of (global epoch -
+/// slowest participant's epoch). A growing value means some reader or
+/// laggard task is pinning reclamation further and further behind.
+inline Gauge& epoch_lag() {
+  static Gauge& gv = Registry::global().gauge("rcua.rcu.epoch_lag");
+  return gv;
+}
+
+/// High-water bytes parked on overflow retire lists (the §9 watchdog's
+/// bounded-memory guarantee, measured). Fed by StallMonitor.
+inline Gauge& overflow_bytes_hwm() {
+  static Gauge& gv =
+      Registry::global().gauge("rcua.reclaim.overflow_bytes_hwm");
+  return gv;
+}
+
+/// Grace-period waits that hit their deadline and were diagnosed.
+inline Counter& stalls() {
+  static Counter& c = Registry::global().counter("rcua.reclaim.stalls");
+  return c;
+}
+
+/// Overflow-budget escalations (StallMonitor::escalate).
+inline Counter& escalations() {
+  static Counter& c =
+      Registry::global().counter("rcua.reclaim.escalations");
+  return c;
+}
+
+}  // namespace rcua::obs::health

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace.hpp"
+
 namespace rcua::reclaim {
 
 CallRcu::CallRcu(Ebr& ebr, StallPolicy policy, StallMonitor* monitor)
@@ -50,6 +52,7 @@ void CallRcu::barrier() {
 }
 
 void CallRcu::invoke_batch(std::vector<Callback>& batch) {
+  obs::trace_instant("rcu.callback_batch", "rcu", batch.size());
   for (const Callback& cb : batch) cb.fn(cb.arg);
   const auto n = static_cast<std::uint64_t>(batch.size());
   batch.clear();

@@ -6,8 +6,11 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/health.hpp"
+#include "obs/trace.hpp"
 #include "platform/align.hpp"
 #include "platform/backoff.hpp"
+#include "platform/timing.hpp"
 #include "platform/topology.hpp"
 #include "reclaim/stall_monitor.hpp"
 #include "sim/cost_model.hpp"
@@ -161,14 +164,18 @@ class BasicEbr {
   template <typename F>
   decltype(auto) read(F&& fn) {
     const std::size_t slot = announce();
+    obs::trace_event("rcu.read_section", "rcu", 'B');
+    const std::uint64_t dwell_start = dwell_clock_if_enabled();
     if constexpr (std::is_void_v<decltype(fn())>) {
       std::forward<F>(fn)();
       RCUA_SCHED_POINT("ebr.read.leave");
+      note_section_end(dwell_start);
       retract(slot);
       return;
     } else {
       decltype(auto) result = std::forward<F>(fn)();
       RCUA_SCHED_POINT("ebr.read.leave");
+      note_section_end(dwell_start);
       retract(slot);
       return result;
     }
@@ -180,9 +187,13 @@ class BasicEbr {
   /// identically on both paths.
   class ReadGuard {
    public:
-    explicit ReadGuard(BasicEbr& ebr) : ebr_(ebr), slot_(ebr.announce()) {}
+    explicit ReadGuard(BasicEbr& ebr) : ebr_(ebr), slot_(ebr.announce()) {
+      obs::trace_event("rcu.read_section", "rcu", 'B');
+      dwell_start_ = dwell_clock_if_enabled();
+    }
     ~ReadGuard() {
       RCUA_SCHED_POINT("ebr.guard.leave");
+      note_section_end(dwell_start_);
       ebr_.retract(slot_);
     }
     ReadGuard(const ReadGuard&) = delete;
@@ -191,6 +202,7 @@ class BasicEbr {
    private:
     BasicEbr& ebr_;
     std::size_t slot_;
+    std::uint64_t dwell_start_ = 0;
   };
 
   /// Write-side epoch bump (RCU_Write line 5). Returns the *previous*
@@ -226,6 +238,8 @@ class BasicEbr {
         std::atomic_thread_fence(std::memory_order_seq_cst);
       }
     }
+    obs::trace_instant("rcu.epoch_bump", "rcu",
+                       static_cast<std::uint64_t>(prev) + 1);
     return prev;
   }
 
@@ -248,6 +262,8 @@ class BasicEbr {
       }
     }
 #endif
+    obs::TraceSpan span("rcu.drain_wait", "rcu");
+    const std::uint64_t grace_start = grace_clock_ns();
     if (!RCUA_SCHED_AWAIT("ebr.wait_for_readers",
                           [&] { return column_sum(idx) == 0; })) {
       plat::Backoff backoff(/*yield_threshold=*/4);
@@ -256,6 +272,7 @@ class BasicEbr {
       }
     }
     sim::charge(sim::CostModel::get().epoch_drain_ns);
+    obs::health::grace_ns().record(grace_clock_ns() - grace_start);
   }
 
   /// Deadline-bounded variant of wait_for_readers: drains the old-parity
@@ -278,10 +295,14 @@ class BasicEbr {
       }
     }
 #endif
+    obs::TraceSpan span("rcu.drain_wait", "rcu");
     const std::uint64_t start = plat::now_ns();
     result.drained = wait_with_policy("ebr.try_wait_for_readers", policy,
                                       [&] { return column_sum(idx) == 0; });
     result.waited_ns = plat::now_ns() - start;
+    // Timed-out waits record the full deadline spent: the tail of the
+    // grace histogram is the stalled-reader signal.
+    obs::health::grace_ns().record(result.waited_ns);
     if (result.drained) {
       sim::charge(sim::CostModel::get().epoch_drain_ns);
       return result;
@@ -351,6 +372,27 @@ class BasicEbr {
     std::size_t p = 1;
     while (p < n && p < 256) p <<= 1;
     return p;
+  }
+
+  /// Grace/dwell timestamps follow the trace-layer convention: virtual
+  /// time when a TaskClock is attached (deterministic under the sched
+  /// harness), wall time otherwise. Reading now_v() charges nothing.
+  [[nodiscard]] static std::uint64_t grace_clock_ns() noexcept {
+    return sim::enabled() ? sim::now_v() : plat::now_ns();
+  }
+
+  /// Dwell timing costs two clock reads per read section, so it is
+  /// gated behind RCUA_METRICS (detailed_metrics_enabled). Returns 0
+  /// when disabled; 0 doubles as the "don't record" sentinel.
+  [[nodiscard]] static std::uint64_t dwell_clock_if_enabled() noexcept {
+    return obs::detailed_metrics_enabled() ? grace_clock_ns() : 0;
+  }
+
+  static void note_section_end(std::uint64_t dwell_start) noexcept {
+    obs::trace_event("rcu.read_section", "rcu", 'E');
+    if (dwell_start != 0) {
+      obs::health::reader_dwell_ns().record(grace_clock_ns() - dwell_start);
+    }
   }
 
   /// Announce/retract ordering: the striped layout relies on the

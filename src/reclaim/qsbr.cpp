@@ -3,6 +3,8 @@
 #include <cassert>
 #include <mutex>
 
+#include "obs/health.hpp"
+#include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
 #include "testing/sched_point.hpp"
@@ -42,6 +44,7 @@ void Qsbr::defer(DeferNode* node) {
       state_epoch_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
   assert(e != 0 && "StateEpoch overflow is undefined behaviour (paper fn.5)");
   RCUA_SCHED_POINT("qsbr.defer.epoch_bumped");
+  obs::trace_instant("rcu.epoch_bump", "rcu", e);
   slot.observed_epoch.store(e, std::memory_order_release);
   RCUA_SCHED_POINT("qsbr.defer.observed");
   // Couple the memory with its safe epoch, LIFO (line 3; Lemma 4 keeps
@@ -71,6 +74,9 @@ std::size_t Qsbr::checkpoint() {
       registry_.min_observed_epoch_counted(slot_, e, live_visited);
   if (RCUA_SCHED_MUT(qsbr_ignore_min)) min = e;
   RCUA_SCHED_POINT("qsbr.checkpoint.scanned");
+  // How far the slowest participant trails the state this thread just
+  // observed — the health signal for a laggard pinning reclamation.
+  obs::health::epoch_lag().update_max(e - min);
   // Split the DeferList where safe epoch <= min and reclaim (lines 9-13).
   DeferNode* chain;
   {
@@ -102,17 +108,20 @@ Qsbr::SyncResult Qsbr::try_synchronize(const StallPolicy& policy) {
   slot.observed_epoch.store(e, std::memory_order_release);
   SyncResult result;
   result.target_epoch = e;
+  obs::TraceSpan span("rcu.drain_wait", "rcu");
   const std::uint64_t start = plat::now_ns();
   result.quiesced =
       wait_with_policy("qsbr.try_synchronize", policy, [&] {
         return registry_.min_observed_epoch(slot_, e) >= e;
       });
   result.waited_ns = plat::now_ns() - start;
+  obs::health::grace_ns().record(result.waited_ns);
   if (!result.quiesced) {
     const LaggardReport report = scan_laggards(e);
     result.laggards = report.count;
     result.laggard = report.first;
     result.laggard_observed = report.first_observed;
+    obs::health::epoch_lag().update_max(e - result.laggard_observed);
   }
   return result;
 }

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/health.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 
 namespace rcua::reclaim {
@@ -80,18 +82,45 @@ StallMonitor& StallMonitor::global() {
   return *monitor;
 }
 
-void StallMonitor::default_sink(const StallDiagnostic& diag, void* user) {
-  (void)user;
+void StderrStallSink::on_stall(const StallDiagnostic& diag) {
   std::fprintf(stderr, "%s\n", diag.describe().c_str());
+}
+
+void CaptureStallSink::on_stall(const StallDiagnostic& diag) {
+  std::lock_guard<plat::Spinlock> guard(lock_);
+  records_.push_back(diag);
+}
+
+std::vector<StallDiagnostic> CaptureStallSink::records() const {
+  std::lock_guard<plat::Spinlock> guard(lock_);
+  return records_;
+}
+
+std::size_t CaptureStallSink::size() const {
+  std::lock_guard<plat::Spinlock> guard(lock_);
+  return records_.size();
+}
+
+void CaptureStallSink::clear() {
+  std::lock_guard<plat::Spinlock> guard(lock_);
+  records_.clear();
+}
+
+StallSink* StallMonitor::default_sink() {
+  static StallSink* sink = new StderrStallSink();  // immortal
+  return sink;
 }
 
 void StallMonitor::record_stall(const StallDiagnostic& diag) {
   stalls_.fetch_add(1, std::memory_order_relaxed);
+  obs::health::stalls().add();
+  obs::trace_instant("reclaim.stall", "rcu",
+                     static_cast<std::uint64_t>(diag.kind));
   {
     std::lock_guard<plat::Spinlock> guard(last_lock_);
     last_ = diag;
   }
-  if (sink_ != nullptr) sink_(diag, sink_user_);
+  if (sink_ != nullptr) sink_->on_stall(diag);
 }
 
 StallDiagnostic StallMonitor::last() const {
@@ -108,6 +137,8 @@ void StallMonitor::note_overflow(std::size_t bytes,
   while (now > peak && !peak_overflow_bytes_.compare_exchange_weak(
                            peak, now, std::memory_order_relaxed)) {
   }
+  obs::health::overflow_bytes_hwm().update_max(now);
+  obs::trace_instant("rcu.overflow_defer", "rcu", bytes);
 }
 
 void StallMonitor::note_flushed(std::size_t bytes,
@@ -121,6 +152,7 @@ void StallMonitor::escalate(StallDiagnostic diag) {
   diag.budget_bytes = budget_bytes_;
   diag.overflow_bytes = overflow_bytes();
   escalations_.fetch_add(1, std::memory_order_relaxed);
+  obs::health::escalations().add();
   record_stall(diag);
   if (escalation_ == Escalation::kFatal) {
     std::fprintf(stderr,

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "platform/backoff.hpp"
 #include "platform/spinlock.hpp"
@@ -130,6 +131,36 @@ struct StallDiagnostic {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Pluggable destination for stall diagnostics. Implementations must be
+/// thread-safe: reclaimers on any thread may report stalls concurrently.
+class StallSink {
+ public:
+  virtual ~StallSink() = default;
+  virtual void on_stall(const StallDiagnostic& diag) = 0;
+};
+
+/// Default sink: renders `describe()` as one line to stderr.
+class StderrStallSink final : public StallSink {
+ public:
+  void on_stall(const StallDiagnostic& diag) override;
+};
+
+/// Test sink: captures every structured diagnostic so assertions can
+/// inspect fields instead of string-matching the stderr rendering.
+class CaptureStallSink final : public StallSink {
+ public:
+  void on_stall(const StallDiagnostic& diag) override;
+
+  /// Snapshot of everything captured so far, in delivery order.
+  [[nodiscard]] std::vector<StallDiagnostic> records() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable plat::Spinlock lock_;
+  std::vector<StallDiagnostic> records_;
+};
+
 /// Watchdog over grace-period stalls and overflow memory. Reclaimers
 /// report stalls through `record_stall`; structures that defer retired
 /// memory past a stalled grace period account the bytes here, and the
@@ -146,8 +177,6 @@ class StallMonitor {
  public:
   enum class Escalation : int { kWarn = 0, kBlock = 1, kFatal = 2 };
 
-  using Sink = void (*)(const StallDiagnostic&, void* user);
-
   explicit StallMonitor(std::size_t budget_bytes = 0,
                         Escalation escalation = Escalation::kBlock) noexcept
       : budget_bytes_(budget_bytes), escalation_(escalation) {}
@@ -159,13 +188,11 @@ class StallMonitor {
   /// (warn|block|fatal, default block).
   static StallMonitor& global();
 
-  /// Replaces the diagnostic sink (default: one line to stderr). Pass
-  /// nullptr to silence. Not synchronized against in-flight stalls;
-  /// install before concurrent use.
-  void set_sink(Sink sink, void* user) noexcept {
-    sink_ = sink;
-    sink_user_ = user;
-  }
+  /// Replaces the diagnostic sink (default: a process-wide
+  /// StderrStallSink). Pass nullptr to silence. The monitor does not own
+  /// the sink; it must outlive every stall. Not synchronized against
+  /// in-flight stalls; install before concurrent use.
+  void set_sink(StallSink* sink) noexcept { sink_ = sink; }
 
   /// Reports one stall: counts it, remembers it, forwards to the sink.
   void record_stall(const StallDiagnostic& diag);
@@ -216,8 +243,7 @@ class StallMonitor {
  private:
   std::size_t budget_bytes_;
   Escalation escalation_;
-  Sink sink_ = &default_sink;
-  void* sink_user_ = nullptr;
+  StallSink* sink_ = default_sink();
   std::atomic<std::size_t> overflow_bytes_{0};
   std::atomic<std::size_t> peak_overflow_bytes_{0};
   std::atomic<std::uint64_t> overflow_objects_{0};
@@ -227,7 +253,8 @@ class StallMonitor {
   mutable plat::Spinlock last_lock_;
   StallDiagnostic last_{};
 
-  static void default_sink(const StallDiagnostic& diag, void* user);
+  /// Immortal process-wide StderrStallSink shared by every monitor.
+  static StallSink* default_sink();
 };
 
 /// Epoch-tagged overflow list for retired EBR memory whose grace period

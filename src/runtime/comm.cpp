@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "runtime/fault_plan.hpp"
 #include "testing/sched_point.hpp"
 #include "util/env.hpp"
@@ -16,22 +17,38 @@ namespace {
 constexpr std::uint64_t kDefaultWindow = 32;
 }  // namespace
 
-CommLayer::CommLayer(std::uint32_t num_locales) : stats_(num_locales) {}
+CommLayer::CommLayer(std::uint32_t num_locales)
+    : num_locales_(num_locales),
+      registry_(num_locales),
+      gets_(registry_.counter("rcua.comm.gets")),
+      puts_(registry_.counter("rcua.comm.puts")),
+      executes_(registry_.counter("rcua.comm.executes")),
+      async_issued_(registry_.counter("rcua.comm.async_issued")),
+      async_completed_(registry_.counter("rcua.comm.async_completed")),
+      async_cancelled_(registry_.counter("rcua.comm.async_cancelled")),
+      async_max_inflight_(registry_.counter("rcua.comm.async_max_inflight",
+                                            0, obs::Agg::kMax)),
+      cache_hits_(registry_.counter("rcua.cache.hits")),
+      cache_misses_(registry_.counter("rcua.cache.misses")),
+      cache_fills_(registry_.counter("rcua.cache.fills")),
+      cache_evictions_(registry_.counter("rcua.cache.evictions")) {}
 
 void CommLayer::record_access(std::uint32_t src, std::uint32_t dst,
                               bool is_write) noexcept {
   if (src == dst) return;
-  CommStats& s = stats_[src].value;
   if (is_write) {
-    s.puts.fetch_add(1, std::memory_order_relaxed);
+    puts_.add_at(src);
+    obs::trace_instant("comm.put", "comm", dst);
   } else {
-    s.gets.fetch_add(1, std::memory_order_relaxed);
+    gets_.add_at(src);
+    obs::trace_instant("comm.get", "comm", dst);
   }
 }
 
 void CommLayer::record_execute(std::uint32_t src, std::uint32_t dst) noexcept {
   if (src == dst) return;
-  stats_[src].value.executes.fetch_add(1, std::memory_order_relaxed);
+  executes_.add_at(src);
+  obs::TraceSpan span("comm.execute", "comm", dst);
   sim::charge(sim::CostModel::get().remote_execute_ns);
   if (FaultPlan* plan = fault_plan_.load(std::memory_order_acquire)) {
     std::uint64_t delay = 0;
@@ -45,13 +62,14 @@ void CommLayer::record_execute(std::uint32_t src, std::uint32_t dst) noexcept {
 void CommLayer::record_execute_async(std::uint32_t src,
                                      std::uint32_t dst) noexcept {
   if (src == dst) return;
-  stats_[src].value.executes.fetch_add(1, std::memory_order_relaxed);
+  executes_.add_at(src);
 }
 
 std::uint64_t CommLayer::issue_execute(std::uint32_t src,
                                        std::uint32_t dst) noexcept {
   if (src == dst) return 0;
-  stats_[src].value.executes.fetch_add(1, std::memory_order_relaxed);
+  executes_.add_at(src);
+  obs::trace_instant("comm.execute_issue", "comm", dst);
   const auto& m = sim::CostModel::get();
   const double issue = std::min(m.async_issue_ns, m.remote_execute_ns);
   sim::charge(issue);
@@ -70,161 +88,58 @@ std::uint64_t CommLayer::slow_remote_delay(std::uint32_t dst) noexcept {
 }
 
 void CommLayer::note_async_issued(std::uint32_t locale) noexcept {
-  stats_[locale].value.async_issued.fetch_add(1, std::memory_order_relaxed);
+  async_issued_.add_at(locale);
 }
 
 void CommLayer::note_async_completed(std::uint32_t locale) noexcept {
-  stats_[locale].value.async_completed.fetch_add(1, std::memory_order_relaxed);
+  async_completed_.add_at(locale);
 }
 
 void CommLayer::note_async_cancelled(std::uint32_t locale) noexcept {
-  stats_[locale].value.async_cancelled.fetch_add(1, std::memory_order_relaxed);
+  async_cancelled_.add_at(locale);
 }
 
 void CommLayer::note_async_inflight(std::uint32_t locale,
                                     std::size_t depth) noexcept {
-  auto& hwm = stats_[locale].value.async_max_inflight;
-  std::uint64_t cur = hwm.load(std::memory_order_relaxed);
-  while (cur < depth &&
-         !hwm.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
-  }
+  async_max_inflight_.raise_at(locale, depth);
 }
 
 void CommLayer::note_cache_hit(std::uint32_t locale) noexcept {
-  stats_[locale].value.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  cache_hits_.add_at(locale);
+  obs::trace_instant("cache.hit", "cache", locale);
 }
 
 void CommLayer::note_cache_miss(std::uint32_t locale) noexcept {
-  stats_[locale].value.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  cache_misses_.add_at(locale);
+  obs::trace_instant("cache.miss", "cache", locale);
 }
 
 void CommLayer::note_cache_fill(std::uint32_t locale) noexcept {
-  stats_[locale].value.cache_fills.fetch_add(1, std::memory_order_relaxed);
+  cache_fills_.add_at(locale);
+  obs::trace_instant("cache.fill", "cache", locale);
 }
 
 void CommLayer::note_cache_evictions(std::uint32_t locale,
                                      std::uint64_t n) noexcept {
   if (n == 0) return;
-  stats_[locale].value.cache_evictions.fetch_add(n,
-                                                 std::memory_order_relaxed);
+  cache_evictions_.add_at(locale, n);
+  obs::trace_instant("cache.evict", "cache", n);
 }
 
-std::uint64_t CommLayer::gets(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.gets.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::puts(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.puts.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::executes(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.executes.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::async_issued(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.async_issued.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::async_completed(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.async_completed.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::async_cancelled(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.async_cancelled.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::async_max_inflight(
-    std::uint32_t locale) const noexcept {
-  return stats_[locale].value.async_max_inflight.load(
-      std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::cache_hits(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.cache_hits.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::cache_misses(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.cache_misses.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::cache_fills(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.cache_fills.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::cache_evictions(std::uint32_t locale) const noexcept {
-  return stats_[locale].value.cache_evictions.load(std::memory_order_relaxed);
-}
-
-std::uint64_t CommLayer::total_gets() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += gets(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_puts() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += puts(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_executes() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += executes(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_async_issued() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += async_issued(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_async_completed() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += async_completed(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_async_cancelled() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += async_cancelled(l);
-  return n;
-}
-
-std::uint64_t CommLayer::max_async_inflight() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) {
-    n = std::max(n, async_max_inflight(l));
-  }
-  return n;
-}
-
-std::uint64_t CommLayer::total_cache_hits() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_hits(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_cache_misses() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_misses(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_cache_fills() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_fills(l);
-  return n;
-}
-
-std::uint64_t CommLayer::total_cache_evictions() const noexcept {
-  std::uint64_t n = 0;
-  for (std::uint32_t l = 0; l < num_locales(); ++l) n += cache_evictions(l);
-  return n;
-}
-
-void CommLayer::reset() noexcept {
-  for (auto& s : stats_) s.value.reset();
+CommStats CommLayer::stats_at(std::uint32_t locale) const noexcept {
+  CommStats s;
+  s.gets = gets(locale);
+  s.puts = puts(locale);
+  s.executes = executes(locale);
+  s.async_issued = async_issued(locale);
+  s.async_completed = async_completed(locale);
+  s.async_cancelled = async_cancelled(locale);
+  s.async_max_inflight = async_max_inflight(locale);
+  s.cache_hits = cache_hits(locale);
+  s.cache_misses = cache_misses(locale);
+  s.cache_fills = cache_fills(locale);
+  s.cache_evictions = cache_evictions(locale);
+  return s;
 }
 
 AsyncComm::AsyncComm(CommLayer& comm, std::uint32_t here, Options options)
@@ -251,6 +166,7 @@ void AsyncComm::issue(std::uint32_t dst, std::size_t weight,
   // section pins the completion's targets (DESIGN.md §10).
   while (ch.inflight.size() >= window_) retire_head(ch);
   RCUA_SCHED_POINT("comm.async.issue");
+  obs::trace_instant("comm.async.issue", "comm", dst);
 
   const auto& m = sim::CostModel::get();
   // The issue cost is a carve-out of the op's latency, not an addition:
@@ -285,6 +201,7 @@ void AsyncComm::retire_head(Channel& ch) {
   Pending p = std::move(ch.inflight.front());
   ch.inflight.pop_front();
   RCUA_SCHED_POINT("comm.async.complete");
+  obs::trace_instant("comm.async.complete", "comm", p.core->dst);
   // Mark completed BEFORE delivering: if the closure throws, the op
   // still counts as delivered exactly once (never re-run), and the
   // session destructor cancels — not delivers — whatever remains.

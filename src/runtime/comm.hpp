@@ -12,7 +12,7 @@
 #include <utility>
 #include <vector>
 
-#include "platform/align.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/task_clock.hpp"
 
@@ -20,48 +20,38 @@ namespace rcua::rt {
 
 class FaultPlan;
 
-/// Per-locale communication counters. In Chapel these PUT/GET operations
-/// happen behind the scenes; the counters make the "behind the scenes"
-/// observable — tests assert on locality properties (e.g. RCUArray
-/// metadata privatization keeps reads node-local) and benches report
-/// communication volume next to throughput.
+/// Snapshot of one locale's communication counters. In Chapel these
+/// PUT/GET operations happen behind the scenes; the counters make the
+/// "behind the scenes" observable — tests assert on locality properties
+/// (e.g. RCUArray metadata privatization keeps reads node-local) and
+/// benches report communication volume next to throughput.
+///
+/// The live counters are obs::Counter cells in the CommLayer's metrics
+/// registry (one stripe per locale); this struct is the thin plain-value
+/// view read back through CommLayer::stats_at.
 struct CommStats {
-  std::atomic<std::uint64_t> gets{0};
-  std::atomic<std::uint64_t> puts{0};
-  std::atomic<std::uint64_t> executes{0};
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t executes = 0;
   // Async comm layer (rt::AsyncComm) counters. `async_issued` /
   // `async_completed` / `async_cancelled` are lifetime totals;
   // `async_max_inflight` is the high-water mark of ops outstanding to a
   // single destination from this locale. The exactly-once invariant is
   //   async_issued == async_completed + async_cancelled
   // once every session on the locale has drained or been destroyed.
-  std::atomic<std::uint64_t> async_issued{0};
-  std::atomic<std::uint64_t> async_completed{0};
-  std::atomic<std::uint64_t> async_cancelled{0};
-  std::atomic<std::uint64_t> async_max_inflight{0};
+  std::uint64_t async_issued = 0;
+  std::uint64_t async_completed = 0;
+  std::uint64_t async_cancelled = 0;
+  std::uint64_t async_max_inflight = 0;
   // Per-locale block cache (rt::BlockCache) counters. Deterministic for
   // a fixed workload with one consumer task per locale (the bench-gate
   // configs); a hit replaces a would-be remote GET/execute, a fill is
   // the one remote execute that fetched the whole block, an eviction is
   // a capacity- or staleness-driven entry drop.
-  std::atomic<std::uint64_t> cache_hits{0};
-  std::atomic<std::uint64_t> cache_misses{0};
-  std::atomic<std::uint64_t> cache_fills{0};
-  std::atomic<std::uint64_t> cache_evictions{0};
-
-  void reset() noexcept {
-    gets.store(0, std::memory_order_relaxed);
-    puts.store(0, std::memory_order_relaxed);
-    executes.store(0, std::memory_order_relaxed);
-    async_issued.store(0, std::memory_order_relaxed);
-    async_completed.store(0, std::memory_order_relaxed);
-    async_cancelled.store(0, std::memory_order_relaxed);
-    async_max_inflight.store(0, std::memory_order_relaxed);
-    cache_hits.store(0, std::memory_order_relaxed);
-    cache_misses.store(0, std::memory_order_relaxed);
-    cache_fills.store(0, std::memory_order_relaxed);
-    cache_evictions.store(0, std::memory_order_relaxed);
-  }
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_fills = 0;
+  std::uint64_t cache_evictions = 0;
 };
 
 /// The cluster's communication layer: counts one-sided operations by
@@ -69,6 +59,12 @@ struct CommStats {
 /// executions (element-access charging lives at the data-structure touch
 /// sites via sim::touch_block, which sees cache behaviour the comm layer
 /// cannot).
+///
+/// Every counter lives in a per-cluster obs::Registry (`registry()`)
+/// with one cache-line-padded cell per locale, so the hot path is the
+/// same single relaxed fetch_add the old ad-hoc atomics paid, while
+/// snapshot(), the per-locale accessors, and the totals are all views
+/// over the same cells — one aggregation path instead of three.
 class CommLayer {
  public:
   explicit CommLayer(std::uint32_t num_locales);
@@ -118,39 +114,98 @@ class CommLayer {
   void note_cache_fill(std::uint32_t locale) noexcept;
   void note_cache_evictions(std::uint32_t locale, std::uint64_t n) noexcept;
 
-  [[nodiscard]] std::uint64_t gets(std::uint32_t locale) const noexcept;
-  [[nodiscard]] std::uint64_t puts(std::uint32_t locale) const noexcept;
-  [[nodiscard]] std::uint64_t executes(std::uint32_t locale) const noexcept;
-  [[nodiscard]] std::uint64_t async_issued(std::uint32_t locale) const noexcept;
+  // Per-locale accessors: thin views over the registry counters' cells.
+  [[nodiscard]] std::uint64_t gets(std::uint32_t locale) const noexcept {
+    return gets_.at(locale);
+  }
+  [[nodiscard]] std::uint64_t puts(std::uint32_t locale) const noexcept {
+    return puts_.at(locale);
+  }
+  [[nodiscard]] std::uint64_t executes(std::uint32_t locale) const noexcept {
+    return executes_.at(locale);
+  }
+  [[nodiscard]] std::uint64_t async_issued(
+      std::uint32_t locale) const noexcept {
+    return async_issued_.at(locale);
+  }
   [[nodiscard]] std::uint64_t async_completed(
-      std::uint32_t locale) const noexcept;
+      std::uint32_t locale) const noexcept {
+    return async_completed_.at(locale);
+  }
   [[nodiscard]] std::uint64_t async_cancelled(
-      std::uint32_t locale) const noexcept;
+      std::uint32_t locale) const noexcept {
+    return async_cancelled_.at(locale);
+  }
   [[nodiscard]] std::uint64_t async_max_inflight(
-      std::uint32_t locale) const noexcept;
-  [[nodiscard]] std::uint64_t cache_hits(std::uint32_t locale) const noexcept;
-  [[nodiscard]] std::uint64_t cache_misses(std::uint32_t locale) const noexcept;
-  [[nodiscard]] std::uint64_t cache_fills(std::uint32_t locale) const noexcept;
+      std::uint32_t locale) const noexcept {
+    return async_max_inflight_.at(locale);
+  }
+  [[nodiscard]] std::uint64_t cache_hits(std::uint32_t locale) const noexcept {
+    return cache_hits_.at(locale);
+  }
+  [[nodiscard]] std::uint64_t cache_misses(
+      std::uint32_t locale) const noexcept {
+    return cache_misses_.at(locale);
+  }
+  [[nodiscard]] std::uint64_t cache_fills(std::uint32_t locale) const noexcept {
+    return cache_fills_.at(locale);
+  }
   [[nodiscard]] std::uint64_t cache_evictions(
-      std::uint32_t locale) const noexcept;
+      std::uint32_t locale) const noexcept {
+    return cache_evictions_.at(locale);
+  }
 
-  [[nodiscard]] std::uint64_t total_gets() const noexcept;
-  [[nodiscard]] std::uint64_t total_puts() const noexcept;
-  [[nodiscard]] std::uint64_t total_executes() const noexcept;
-  [[nodiscard]] std::uint64_t total_async_issued() const noexcept;
-  [[nodiscard]] std::uint64_t total_async_completed() const noexcept;
-  [[nodiscard]] std::uint64_t total_async_cancelled() const noexcept;
+  /// All of one locale's counters as a plain snapshot struct.
+  [[nodiscard]] CommStats stats_at(std::uint32_t locale) const noexcept;
+
+  // Totals: the registry counters' fold (sum; max for the high-water).
+  [[nodiscard]] std::uint64_t total_gets() const noexcept {
+    return gets_.value();
+  }
+  [[nodiscard]] std::uint64_t total_puts() const noexcept {
+    return puts_.value();
+  }
+  [[nodiscard]] std::uint64_t total_executes() const noexcept {
+    return executes_.value();
+  }
+  [[nodiscard]] std::uint64_t total_async_issued() const noexcept {
+    return async_issued_.value();
+  }
+  [[nodiscard]] std::uint64_t total_async_completed() const noexcept {
+    return async_completed_.value();
+  }
+  [[nodiscard]] std::uint64_t total_async_cancelled() const noexcept {
+    return async_cancelled_.value();
+  }
   /// Max over locales (a high-water mark does not sum meaningfully).
-  [[nodiscard]] std::uint64_t max_async_inflight() const noexcept;
-  [[nodiscard]] std::uint64_t total_cache_hits() const noexcept;
-  [[nodiscard]] std::uint64_t total_cache_misses() const noexcept;
-  [[nodiscard]] std::uint64_t total_cache_fills() const noexcept;
-  [[nodiscard]] std::uint64_t total_cache_evictions() const noexcept;
+  [[nodiscard]] std::uint64_t max_async_inflight() const noexcept {
+    return async_max_inflight_.value();
+  }
+  [[nodiscard]] std::uint64_t total_cache_hits() const noexcept {
+    return cache_hits_.value();
+  }
+  [[nodiscard]] std::uint64_t total_cache_misses() const noexcept {
+    return cache_misses_.value();
+  }
+  [[nodiscard]] std::uint64_t total_cache_fills() const noexcept {
+    return cache_fills_.value();
+  }
+  [[nodiscard]] std::uint64_t total_cache_evictions() const noexcept {
+    return cache_evictions_.value();
+  }
 
-  void reset() noexcept;
+  void reset() noexcept { registry_.reset(); }
 
   [[nodiscard]] std::uint32_t num_locales() const noexcept {
-    return static_cast<std::uint32_t>(stats_.size());
+    return num_locales_;
+  }
+
+  /// This cluster's metrics registry. Comm/cache/async counters live
+  /// here (NOT in obs::Registry::global()) so concurrently-live clusters
+  /// never mix counts and reset() stays cluster-local.
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
   }
 
   /// Chaos hook: a kSlowRemote rule matching the *destination* locale
@@ -161,7 +216,19 @@ class CommLayer {
   }
 
  private:
-  std::vector<plat::CacheAligned<CommStats>> stats_;
+  std::uint32_t num_locales_;
+  obs::Registry registry_;  // declared before the counter handles
+  obs::Counter& gets_;
+  obs::Counter& puts_;
+  obs::Counter& executes_;
+  obs::Counter& async_issued_;
+  obs::Counter& async_completed_;
+  obs::Counter& async_cancelled_;
+  obs::Counter& async_max_inflight_;  // Agg::kMax
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Counter& cache_fills_;
+  obs::Counter& cache_evictions_;
   std::atomic<FaultPlan*> fault_plan_{nullptr};
 };
 

@@ -42,13 +42,6 @@ bool eventually(Pred&& pred) {
   return true;
 }
 
-struct CapturedDiags {
-  std::vector<reclaim::StallDiagnostic> diags;
-  static void sink(const reclaim::StallDiagnostic& d, void* user) {
-    static_cast<CapturedDiags*>(user)->diags.push_back(d);
-  }
-};
-
 }  // namespace
 
 // The acceptance scenario: a reader stalled mid-read-section plus a
@@ -62,8 +55,8 @@ TEST(Chaos, StalledReaderAndKilledWorkerDoNotHangResize) {
   rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
   reclaim::StallMonitor monitor(/*budget_bytes=*/1 << 20,
                                 reclaim::StallMonitor::Escalation::kBlock);
-  CapturedDiags captured;
-  monitor.set_sink(&CapturedDiags::sink, &captured);
+  reclaim::CaptureStallSink captured;
+  monitor.set_sink(&captured);
 
   rcua::RCUArray<int, rcua::EbrPolicy>::Options opts;
   opts.block_size = 64;
@@ -109,8 +102,9 @@ TEST(Chaos, StalledReaderAndKilledWorkerDoNotHangResize) {
   EXPECT_LE(monitor.peak_overflow_bytes(), monitor.budget_bytes());
 
   // The diagnostic names the stuck locale/stripe/epoch.
-  ASSERT_FALSE(captured.diags.empty());
-  const reclaim::StallDiagnostic& diag = captured.diags.front();
+  const auto captured_diags = captured.records();
+  ASSERT_FALSE(captured_diags.empty());
+  const reclaim::StallDiagnostic& diag = captured_diags.front();
   EXPECT_EQ(diag.kind, reclaim::StallDiagnostic::Kind::kEbrReader);
   EXPECT_EQ(diag.locale, 0u);
   EXPECT_NE(diag.stripe, SIZE_MAX);
@@ -265,8 +259,8 @@ TEST(Chaos, BudgetBreachFallsBackToBlockingDrain) {
   rt::Cluster cluster({.num_locales = 1, .workers_per_locale = 1});
   reclaim::StallMonitor monitor(/*budget_bytes=*/1,
                                 reclaim::StallMonitor::Escalation::kBlock);
-  CapturedDiags captured;
-  monitor.set_sink(&CapturedDiags::sink, &captured);
+  reclaim::CaptureStallSink captured;
+  monitor.set_sink(&captured);
 
   rcua::RCUArray<int, rcua::EbrPolicy>::Options opts;
   opts.block_size = 32;

@@ -1,0 +1,330 @@
+// Tier-1 coverage for the observability subsystem (DESIGN.md §12):
+// registry correctness under concurrent striped increments, histogram
+// bucket boundaries, snapshot isolation, trace ring wrap semantics,
+// Chrome-JSON export shape, and the no-sink overhead guard — enabling
+// the registry+trace must not move a single deterministic counter or
+// virtual nanosecond.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rcu_array.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "reclaim/qsbr.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/task_clock.hpp"
+
+namespace {
+
+using rcua::obs::Agg;
+using rcua::obs::Counter;
+using rcua::obs::Histogram;
+using rcua::obs::Registry;
+using rcua::obs::TraceEvent;
+
+TEST(ObsRegistry, CounterSumsConcurrentIncrementsAcrossStripes) {
+  Registry reg(8);
+  Counter& c = reg.counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsRegistry, CounterStripeAttributionIsExact) {
+  Registry reg;
+  Counter& c = reg.counter("test.per_locale", /*stripes=*/4);
+  c.add_at(0, 7);
+  c.add_at(2, 5);
+  c.add_at(2, 1);
+  EXPECT_EQ(c.at(0), 7u);
+  EXPECT_EQ(c.at(1), 0u);
+  EXPECT_EQ(c.at(2), 6u);
+  EXPECT_EQ(c.value(), 13u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, MaxAggCounterFoldsByMax) {
+  Registry reg;
+  Counter& hwm = reg.counter("test.hwm", 4, Agg::kMax);
+  hwm.raise_at(0, 3);
+  hwm.raise_at(1, 9);
+  hwm.raise_at(1, 4);  // lower: must not regress the high-water mark
+  hwm.raise_at(3, 6);
+  EXPECT_EQ(hwm.at(1), 9u);
+  EXPECT_EQ(hwm.value(), 9u);
+}
+
+TEST(ObsRegistry, FindOrCreateReturnsStableHandles) {
+  Registry reg;
+  Counter& a = reg.counter("same.name");
+  Counter& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(&reg.gauge("g"), &reg.gauge("g"));
+  EXPECT_EQ(&reg.histogram("h"), &reg.histogram("h"));
+}
+
+TEST(ObsRegistry, GaugeSetAddAndUpdateMax) {
+  Registry reg;
+  auto& g = reg.gauge("test.gauge");
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12u);
+  g.update_max(40);
+  g.update_max(2);  // lower: no effect
+  EXPECT_EQ(g.value(), 40u);
+}
+
+TEST(ObsHistogram, BucketBoundariesAreBitWidths) {
+  // Bucket b holds values with bit_width b; bucket 0 is exactly 0.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(255), 8u);
+  EXPECT_EQ(Histogram::bucket_index(256), 9u);
+  EXPECT_EQ(Histogram::bucket_index(~0ULL), 64u);
+
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(2), 2u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(3), 4u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(9), 256u);
+
+  // Every boundary value lands in the bucket whose lower bound it is.
+  for (std::size_t b = 1; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower_bound(b)), b);
+  }
+}
+
+TEST(ObsHistogram, RecordCountSumAndPercentiles) {
+  Registry reg;
+  Histogram& h = reg.histogram("test.hist");
+  EXPECT_EQ(h.percentile_lower_bound(0.5), 0u);  // empty
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(100);  // bit_width 7, bucket lower bound 64
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(7), 1u);
+  EXPECT_EQ(h.percentile_lower_bound(0.0), 0u);
+  EXPECT_EQ(h.percentile_lower_bound(1.0), 64u);
+  // Median of {0, 1, 2, 2, 64-bucket}: rank 3 => bucket 2.
+  EXPECT_EQ(h.percentile_lower_bound(0.5), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(ObsRegistry, SnapshotIsSortedIsolatedAndTyped) {
+  Registry reg;
+  Counter& c = reg.counter("b.counter");
+  auto& g = reg.gauge("a.gauge");
+  Histogram& h = reg.histogram("c.hist");
+  c.add(4);
+  g.set(11);
+  h.record(5);
+
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].kind, Registry::Snapshot::Kind::kGauge);
+  EXPECT_EQ(snap[0].value, 11u);
+  EXPECT_EQ(snap[1].name, "b.counter");
+  EXPECT_EQ(snap[1].kind, Registry::Snapshot::Kind::kCounter);
+  EXPECT_EQ(snap[1].value, 4u);
+  EXPECT_EQ(snap[2].name, "c.hist");
+  EXPECT_EQ(snap[2].kind, Registry::Snapshot::Kind::kHistogram);
+  EXPECT_EQ(snap[2].value, 1u);
+  EXPECT_EQ(snap[2].sum, 5u);
+  ASSERT_EQ(snap[2].buckets.size(), 1u);
+  EXPECT_EQ(snap[2].buckets[0].first, Histogram::bucket_index(5));
+  EXPECT_EQ(snap[2].buckets[0].second, 1u);
+
+  // Snapshot isolation: later mutations do not reach into the copy.
+  c.add(100);
+  g.set(0);
+  EXPECT_EQ(snap[1].value, 4u);
+  EXPECT_EQ(snap[0].value, 11u);
+}
+
+TEST(ObsStatLine, BuildsKeyValueLine) {
+  rcua::obs::StatLine line("obs_stat");
+  line.kv("bench", "fig2a").kv("n", std::uint64_t{2048}).kv_fixed("theta",
+                                                                  0.99, 2);
+  EXPECT_EQ(line.str(), "obs_stat bench=fig2a n=2048 theta=0.99");
+}
+
+/// Events recorded by THIS test, identified by the static name pointer.
+std::vector<TraceEvent> own_events(const char* name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : rcua::obs::trace_snapshot()) {
+    if (e.name != nullptr && std::strcmp(e.name, name) == 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+TEST(ObsTrace, RingWrapDiscardsOldestWithoutTearing) {
+  rcua::obs::trace_reset();
+  const std::size_t cap = rcua::obs::trace_capacity();
+  const std::size_t total = cap + cap / 2;
+  rcua::obs::set_trace_enabled(true);
+  for (std::size_t i = 0; i < total; ++i) {
+    // arg is 1-based so every recorded slot has a nonzero payload.
+    rcua::obs::trace_instant("obs.test.wrap", "test", i + 1);
+  }
+  rcua::obs::set_trace_enabled(false);
+
+  const auto events = own_events("obs.test.wrap");
+  ASSERT_EQ(events.size(), cap) << "ring must hold exactly its capacity";
+  // Discard-oldest: the survivors are the LAST `cap` events, contiguous
+  // and in order — a torn slot would break the sequence.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, total - cap + i + 1);
+    EXPECT_EQ(events[i].phase, 'i');
+  }
+  EXPECT_GE(rcua::obs::trace_dropped(), total - cap);
+  rcua::obs::trace_reset();
+  EXPECT_TRUE(rcua::obs::trace_snapshot().empty());
+  EXPECT_EQ(rcua::obs::trace_dropped(), 0u);
+}
+
+TEST(ObsTrace, ChromeJsonExportHasMinimalSchema) {
+  rcua::obs::trace_reset();
+  rcua::obs::set_trace_enabled(true);
+  {
+    rcua::obs::TraceSpan span("obs.test.span", "test", 7);
+    rcua::obs::trace_instant("obs.test.tick", "test");
+  }
+  rcua::obs::set_trace_enabled(false);
+
+  std::ostringstream os;
+  rcua::obs::trace_write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs.test.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Instants need a scope for the Perfetto importer.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":7}"), std::string::npos);
+  // Required keys on every event.
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  // The array closes and the document balances.
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  rcua::obs::trace_reset();
+}
+
+TEST(ObsHealth, GaugesAndHistogramsLiveInGlobalRegistry) {
+  // Handles resolve into Registry::global() under the documented names.
+  rcua::obs::health::grace_ns().record(1000);
+  rcua::obs::health::epoch_lag().update_max(3);
+  bool saw_grace = false, saw_lag = false;
+  for (const auto& s : Registry::global().snapshot()) {
+    if (s.name == "rcua.rcu.grace_ns") saw_grace = true;
+    if (s.name == "rcua.rcu.epoch_lag") {
+      saw_lag = true;
+      EXPECT_GE(s.value, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_grace);
+  EXPECT_TRUE(saw_lag);
+}
+
+struct WorkloadResult {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t executes = 0;
+  std::uint64_t vtime_ns = 0;
+  std::uint64_t checksum = 0;
+};
+
+namespace sim = rcua::sim;
+
+/// A deterministic single-task mixed read/write workload over a
+/// two-locale array, measured under a virtual clock.
+WorkloadResult run_workload() {
+  rcua::rt::Cluster cluster({.num_locales = 2, .workers_per_locale = 2});
+  rcua::RCUArray<std::uint64_t, rcua::QsbrPolicy> arr(cluster, 1024,
+                                                      {.block_size = 64});
+  WorkloadResult r;
+  sim::TaskClock clock;
+  {
+    sim::ClockScope scope(clock);
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+      arr.write(i, i * 3 + 1);
+    }
+    for (std::uint64_t rep = 0; rep < 4; ++rep) {
+      for (std::uint64_t i = 0; i < 1024; i += 7) {
+        r.checksum += arr.read(i);
+      }
+    }
+  }
+  r.gets = cluster.comm().total_gets();
+  r.puts = cluster.comm().total_puts();
+  r.executes = cluster.comm().total_executes();
+  r.vtime_ns = clock.vtime_ns;
+  rcua::reclaim::Qsbr::global().flush_unsafe();
+  return r;
+}
+
+TEST(ObsOverhead, TracingOnAddsZeroCounterAndVtimeDrift) {
+  // Baseline: registry always on (it cannot be turned off), tracing off.
+  rcua::obs::set_trace_enabled(false);
+  const WorkloadResult off = run_workload();
+
+  // Same workload with tracing recording into live rings.
+  rcua::obs::trace_reset();
+  rcua::obs::set_trace_enabled(true);
+  const WorkloadResult on = run_workload();
+  rcua::obs::set_trace_enabled(false);
+
+  // Observability must never charge virtual time or touch a counter:
+  // bit-identical comm counters and task virtual time, not "close".
+  EXPECT_EQ(on.gets, off.gets);
+  EXPECT_EQ(on.puts, off.puts);
+  EXPECT_EQ(on.executes, off.executes);
+  EXPECT_EQ(on.vtime_ns, off.vtime_ns);
+  EXPECT_EQ(on.checksum, off.checksum);
+  // And the trace actually observed the run's remote traffic.
+  EXPECT_FALSE(own_events("comm.put").empty());
+  rcua::obs::trace_reset();
+
+  // Pinned overhead bound: the workload makes no progress claim beyond
+  // determinism, but the virtual cost of the traced run must equal the
+  // untraced run exactly — the "bounded virtual-time overhead" is zero
+  // by construction, and this asserts the construction.
+  EXPECT_GT(off.vtime_ns, 0u);
+}
+
+}  // namespace

@@ -26,14 +26,6 @@ struct EnvGuard {
   ~EnvGuard() { unsetenv(name.c_str()); }
 };
 
-/// Sink capturing every diagnostic delivered to a monitor.
-struct CapturedDiags {
-  std::vector<reclaim::StallDiagnostic> diags;
-  static void sink(const reclaim::StallDiagnostic& d, void* user) {
-    static_cast<CapturedDiags*>(user)->diags.push_back(d);
-  }
-};
-
 void flag_deleter(void* p) {
   static_cast<std::atomic<bool>*>(p)->store(true, std::memory_order_seq_cst);
 }
@@ -108,8 +100,8 @@ TEST(WaitWithPolicy, DeadlineSurvivesLatePredicateFlip) {
 
 TEST(StallMonitor, RecordStallCountsAndForwards) {
   reclaim::StallMonitor monitor(/*budget_bytes=*/0);
-  CapturedDiags captured;
-  monitor.set_sink(&CapturedDiags::sink, &captured);
+  reclaim::CaptureStallSink captured;
+  monitor.set_sink(&captured);
 
   reclaim::StallDiagnostic diag;
   diag.kind = reclaim::StallDiagnostic::Kind::kEbrReader;
@@ -121,10 +113,40 @@ TEST(StallMonitor, RecordStallCountsAndForwards) {
   monitor.record_stall(diag);
 
   EXPECT_EQ(monitor.stalls(), 1u);
-  ASSERT_EQ(captured.diags.size(), 1u);
-  EXPECT_EQ(captured.diags[0].stripe, 2u);
+  const auto records = captured.records();
+  ASSERT_EQ(records.size(), 1u);
+  // Structured-field asserts: the sink receives the diagnostic verbatim,
+  // no string parsing required.
+  EXPECT_EQ(records[0].kind, reclaim::StallDiagnostic::Kind::kEbrReader);
+  EXPECT_EQ(records[0].locale, 3u);
+  EXPECT_EQ(records[0].epoch, 17u);
+  EXPECT_EQ(records[0].stripe, 2u);
+  EXPECT_EQ(records[0].stuck_readers, 1u);
+  EXPECT_EQ(records[0].waited_ns, 1000000u);
   EXPECT_EQ(monitor.last().epoch, 17u);
   EXPECT_EQ(monitor.last().locale, 3u);
+}
+
+TEST(StallMonitor, NullSinkSilencesButStillCounts) {
+  reclaim::StallMonitor monitor(/*budget_bytes=*/0);
+  monitor.set_sink(nullptr);
+  reclaim::StallDiagnostic diag;
+  diag.kind = reclaim::StallDiagnostic::Kind::kQsbrLaggard;
+  diag.epoch = 5;
+  monitor.record_stall(diag);
+  EXPECT_EQ(monitor.stalls(), 1u);
+  EXPECT_EQ(monitor.last().epoch, 5u);
+}
+
+TEST(StallMonitor, CaptureSinkSupportsClearAndSize) {
+  reclaim::CaptureStallSink sink;
+  reclaim::StallDiagnostic diag;
+  sink.on_stall(diag);
+  sink.on_stall(diag);
+  EXPECT_EQ(sink.size(), 2u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_TRUE(sink.records().empty());
 }
 
 TEST(StallMonitor, DescribeNamesStripeEpochAndDuration) {
@@ -180,16 +202,20 @@ TEST(StallMonitor, UnlimitedBudgetNeverExceeds) {
 TEST(StallMonitor, EscalateWarnRecordsAndContinues) {
   reclaim::StallMonitor monitor(/*budget_bytes=*/1,
                                 reclaim::StallMonitor::Escalation::kWarn);
-  CapturedDiags captured;
-  monitor.set_sink(&CapturedDiags::sink, &captured);
+  reclaim::CaptureStallSink captured;
+  monitor.set_sink(&captured);
   reclaim::StallDiagnostic diag;
   diag.overflow_bytes = 10;
   diag.budget_bytes = 1;
   monitor.escalate(diag);  // must not abort under kWarn
   EXPECT_EQ(monitor.escalations(), 1u);
-  ASSERT_EQ(captured.diags.size(), 1u);
-  EXPECT_EQ(captured.diags[0].kind,
+  const auto records = captured.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind,
             reclaim::StallDiagnostic::Kind::kOverflowBudget);
+  // escalate() stamps the monitor's own budget and live byte count into
+  // the diagnostic before forwarding it.
+  EXPECT_EQ(records[0].budget_bytes, 1u);
 }
 
 TEST(OverflowRetireList, PushAccountsBytesAndObjects) {
