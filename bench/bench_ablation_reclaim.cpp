@@ -4,7 +4,9 @@
 // read; QSBR is near-free; the TLS-free EBR pays for its collective
 // counters).
 //
-// Adds RwlockArray and HazardArray to the Figure-2-style sweep.
+// Adds RwlockArray and HazardArray to the Figure-2-style sweep, plus
+// the bounded-memory era policies (IBR, hazard eras — DESIGN.md §13) so
+// their read-side cost lands on the same axis.
 
 #include "bench_common.hpp"
 
@@ -13,12 +15,13 @@ int main() {
   Params p = Params::from_env({.ops_per_task = 2048});
   p.print_banner(
       "Ablation: protection schemes (random update indexing)",
-      "(not a paper figure) same workload as Fig 2a across all five "
+      "(not a paper figure) same workload as Fig 2a across all "
       "protection schemes",
-      "expected: QSBR ~ unsynchronized > striped EBR >> legacy EBR ~ "
-      "hazard pointers >> rwlock > global lock");
+      "expected: QSBR ~ unsynchronized > striped EBR ~ IBR ~ hazard eras "
+      ">> legacy EBR ~ hazard pointers >> rwlock > global lock");
   run_indexing_figure<ChapelArrayImpl, QsbrArrayImpl, EbrArrayImpl,
-                      LegacyEbrArrayImpl, HazardArrayImpl, RwlockArrayImpl,
+                      LegacyEbrArrayImpl, IbrArrayImpl, HazardErasArrayImpl,
+                      HazardArrayImpl, RwlockArrayImpl,
                       SyncArrayImpl>(p, Pattern::kRandom, "reclaim");
   return 0;
 }

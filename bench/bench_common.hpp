@@ -196,6 +196,30 @@ struct QsbrArrayImpl {
   }
 };
 
+struct IbrArrayImpl {
+  /// Era reservation slots are shared sim::VirtualResource lines, so
+  /// per-op virtual times depend on real-thread arrival order.
+  static constexpr bool kDetVtime = false;
+  static constexpr const char* kName = "IBRArray";
+  using type = RCUArray<std::uint64_t, IbrPolicy>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, typename type::Options{bs, nullptr});
+  }
+};
+
+struct HazardErasArrayImpl {
+  /// Era reservation slots are shared sim::VirtualResource lines, so
+  /// per-op virtual times depend on real-thread arrival order.
+  static constexpr bool kDetVtime = false;
+  static constexpr const char* kName = "HEArray";
+  using type = RCUArray<std::uint64_t, HazardErasPolicy>;
+  static std::unique_ptr<type> make(rt::Cluster& c, std::size_t cap,
+                                    std::size_t bs) {
+    return std::make_unique<type>(c, cap, typename type::Options{bs, nullptr});
+  }
+};
+
 struct ChapelArrayImpl {
   /// Whether virtual-time per-op latencies replay exactly across runs
   /// (pure per-task charges; see LatencyRecorder).

@@ -40,9 +40,17 @@ import sys
 # eviction sequences single-consumer per locale). Entries from benches
 # that predate a counter simply omit the key on both sides and compare
 # equal.
+# The reclamation bake-off counters (bench_ablation_reclaim_bakeoff)
+# come from a single-locale, single-worker train against one parked
+# reader, so retire/free/era-advance sequences are exact: pending_end is
+# the measured bounded-memory claim (constant for ibr/he, train-length
+# for ebr/legacy/qsbr) and pending_after_flush must be 0.
 COMM_COUNTERS = ("gets", "puts", "executes",
                  "issued", "completed", "max_inflight",
-                 "hits", "misses", "fills", "evictions")
+                 "hits", "misses", "fills", "evictions",
+                 "retired", "freed", "era_advances", "era_scans",
+                 "stalled_spines", "defers",
+                 "pending_end", "pending_after_flush")
 
 RETRY_FACTOR = 10
 RETRY_SLACK = 1000

@@ -34,6 +34,7 @@ import time
 DEFAULT_BENCHES = [
     "bench_ablation_ebr_stripes",
     "bench_ablation_reclaim",
+    "bench_ablation_reclaim_bakeoff",
     "bench_fig2a_random_small",
     "bench_ablation_aggregation",
     "bench_ablation_async",

@@ -11,6 +11,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/snapshot.hpp"
@@ -19,6 +20,7 @@
 #include "platform/atomics.hpp"
 #include "platform/backoff.hpp"
 #include "reclaim/ebr.hpp"
+#include "reclaim/eras.hpp"
 #include "reclaim/qsbr.hpp"
 #include "reclaim/stall_monitor.hpp"
 #include "runtime/aggregator.hpp"
@@ -38,6 +40,7 @@ namespace rcua {
 /// the paper's legacy 2-counter pair) can be A/B'd at the array level.
 struct EbrPolicy {
   static constexpr bool is_qsbr = false;
+  static constexpr bool is_interval = false;
   static constexpr const char* name = "EBR";
   using Reclaimer = reclaim::Ebr;
 };
@@ -45,14 +48,36 @@ struct EbrPolicy {
 /// (all-seq_cst, one pair per locale) — the ablation baseline.
 struct LegacyEbrPolicy {
   static constexpr bool is_qsbr = false;
+  static constexpr bool is_interval = false;
   static constexpr const char* name = "EBR-legacy";
   using Reclaimer = reclaim::LegacyEbr;
 };
 struct QsbrPolicy {
   static constexpr bool is_qsbr = true;
+  static constexpr bool is_interval = false;
   static constexpr const char* name = "QSBR";
   // Unused under QSBR; declared so PerLocale has a uniform shape.
   using Reclaimer = reclaim::Ebr;
+};
+/// Interval-based reclamation: readers publish [entry era, current era]
+/// reservations, spines carry [birth, retire] era tags, and retirement
+/// scans the live reservations instead of waiting for them — unreclaimed
+/// memory stays bounded under a stalled reader by construction
+/// (DESIGN.md §13; the reclamation tier Brown's EBR critique calls for).
+struct IbrPolicy {
+  static constexpr bool is_qsbr = false;
+  static constexpr bool is_interval = true;
+  static constexpr const char* name = "IBR";
+  using Reclaimer = reclaim::Ibr;
+};
+/// Hazard eras: single-era reservations republished on every protect —
+/// the hazard-pointer-like point of the era spectrum, same bounded-
+/// memory guarantee and retire/scan machinery as IBR.
+struct HazardErasPolicy {
+  static constexpr bool is_qsbr = false;
+  static constexpr bool is_interval = true;
+  static constexpr const char* name = "HE";
+  using Reclaimer = reclaim::HazardEras;
 };
 
 /// RCUArray: a parallel-safe distributed resizable array (the paper's
@@ -111,6 +136,7 @@ class RCUArray {
   };
 
   static constexpr bool uses_qsbr = Policy::is_qsbr;
+  static constexpr bool uses_interval = Policy::is_interval;
 
   RCUArray(rt::Cluster& cluster, std::size_t initial_capacity = 0,
            Options options = {})
@@ -147,6 +173,10 @@ class RCUArray {
         priv_at(0).global_snapshot.load(std::memory_order_acquire)->blocks();
     for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
       PerLocale* p = &priv_at(l);
+      if constexpr (Policy::is_interval) {
+        // External quiescence: every era-pending spine is freeable now.
+        p->ebr.flush_unsafe();
+      }
       // External quiescence means every deferred spine is freeable now.
       const auto flushed = p->overflow.free_all();
       if (flushed.objects != 0) {
@@ -295,6 +325,18 @@ class RCUArray {
           RCUA_SCHED_POINT("rcua.resize.published");
           obs::trace_instant("rcua.resize.publish", "rcua", l);
           qsbr_->defer_delete(old);
+        } else if constexpr (Policy::is_interval) {
+          // Era protocol: sample the fresh spine's birth era BEFORE the
+          // publish, so any reader that can load `fresh` holds a
+          // reservation at >= its birth (the Lemma 6 generalization,
+          // DESIGN.md §13). The retire stamps `old` with the interval
+          // [its own birth, now] and scans — no grace-period wait.
+          const std::uint64_t fresh_birth = p.ebr.current_era();
+          p.global_snapshot.store(fresh, std::memory_order_release);
+          RCUA_SCHED_POINT("rcua.resize.published");
+          obs::trace_instant("rcua.resize.publish", "rcua", l);
+          retire_spine_interval(
+              p, l, old, std::exchange(p.spine_birth_era, fresh_birth));
         } else {
           // RCU_Write (Algorithm 1 lines 1-8); the clone/λ already ran.
           p.global_snapshot.store(fresh, std::memory_order_release);
@@ -362,6 +404,24 @@ class RCUArray {
       }
       if constexpr (Policy::is_qsbr) {
         qsbr_->defer_delete(old);
+      } else if constexpr (Policy::is_interval) {
+        // The old spine rides the era retire list like any other; the
+        // dropped BLOCKS are shared by every locale's spine, so they
+        // cannot — mint a fence era and wait out every read section
+        // that entered before it, the same deliberately blocking drain
+        // the EBR branch pays (DESIGN.md §8/§13). A stalled reader
+        // therefore delays resize_remove (an extension path), never
+        // resize_add.
+        retire_spine_interval(
+            p, l, old,
+            std::exchange(p.spine_birth_era, p.ebr.current_era()));
+        const std::uint64_t fence = p.ebr.advance_era();
+        RCUA_SCHED_POINT("rcua.resize.epoch_bumped");
+        p.ebr.wait_for_readers(fence);
+        RCUA_SCHED_POINT("rcua.resize.retire_spine");
+        // All pre-fence sections are gone; the scan frees whatever they
+        // were holding (including the spine retired just above).
+        p.ebr.scan();
       } else {
         // Unlike resize_add, this drain stays BLOCKING even under a
         // non-blocking stall policy: the dropped blocks freed below are
@@ -410,11 +470,19 @@ class RCUArray {
       PerLocale& p = arr.priv();
       if constexpr (Policy::is_qsbr) {
         arr.qsbr_->ensure_participant();
+        snapshot_ = p.global_snapshot.load(std::memory_order_acquire);
+      } else if constexpr (Policy::is_interval) {
+        guard_ = std::make_unique<typename Policy::Reclaimer::ReadGuard>(
+            p.ebr);
+        // The protect loop IS the snapshot load: the era reservation it
+        // publishes is what keeps this spine pending for the view's
+        // lifetime.
+        snapshot_ = guard_->protect(p.global_snapshot);
       } else {
         guard_ = std::make_unique<typename Policy::Reclaimer::ReadGuard>(
             p.ebr);
+        snapshot_ = p.global_snapshot.load(std::memory_order_acquire);
       }
-      snapshot_ = p.global_snapshot.load(std::memory_order_acquire);
       // Hoist the pinned snapshot version onto the guard once: every
       // consumer (cache tags, charging) reads this value instead of
       // re-deriving it from the snapshot per access.
@@ -702,19 +770,52 @@ class RCUArray {
     return *monitor_;
   }
 
+  /// Retired-but-unreclaimed spine bytes across all locales, whatever
+  /// list they live on: EBR overflow lists, or the (bounded) era retire
+  /// lists of the interval policies. QSBR deferral is process-global and
+  /// not counted here.
+  [[nodiscard]] std::size_t reclaim_pending_bytes() const {
+    std::size_t total = 0;
+    for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
+      if constexpr (Policy::is_interval) {
+        total += priv_at(l).ebr.pending_bytes();
+      } else {
+        total += priv_at(l).overflow.pending_bytes();
+      }
+    }
+    return total;
+  }
+  /// Spine count behind reclaim_pending_bytes().
+  [[nodiscard]] std::size_t reclaim_pending_objects() const {
+    std::size_t total = 0;
+    for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
+      if constexpr (Policy::is_interval) {
+        total += priv_at(l).ebr.pending_objects();
+      } else {
+        total += priv_at(l).overflow.pending_objects();
+      }
+    }
+    return total;
+  }
+
   /// Manually retries reclamation of every locale's deferred spines
   /// (resizes do this opportunistically anyway). Returns spines freed.
   std::size_t reclaim_overflow() {
     write_lock_.lock();
     std::atomic<std::size_t> before{0};
     std::atomic<std::size_t> after{0};
+    auto pending_at = [&](PerLocale& p) {
+      if constexpr (Policy::is_interval) {
+        return p.ebr.pending_objects();
+      } else {
+        return p.overflow.pending_objects();
+      }
+    };
     cluster_.coforall_locales([&](std::uint32_t l) {
       PerLocale& p = priv_at(l);
-      before.fetch_add(p.overflow.pending_objects(),
-                       std::memory_order_relaxed);
+      before.fetch_add(pending_at(p), std::memory_order_relaxed);
       flush_overflow_at(l);
-      after.fetch_add(p.overflow.pending_objects(),
-                      std::memory_order_relaxed);
+      after.fetch_add(pending_at(p), std::memory_order_relaxed);
     });
     write_lock_.unlock();
     return before.load(std::memory_order_relaxed) -
@@ -730,6 +831,11 @@ class RCUArray {
     typename Policy::Reclaimer ebr{0, Policy::is_qsbr ? std::size_t{1}
                                                       : std::size_t{0}};
     std::uint32_t next_locale_id = 0;
+    /// Era policies: the era current when this locale's LIVE spine was
+    /// allocated — becomes its lifetime's lower tag when the next resize
+    /// retires it. Written only under the write lock; the initial
+    /// snapshot is born at era 0, matching the zero init.
+    std::uint64_t spine_birth_era = 0;
     /// Spines whose grace-period drain timed out, parked until both
     /// reader columns have been observed empty since the push. Per-
     /// locale is sufficient: a spine on locale l is only ever
@@ -813,18 +919,57 @@ class RCUArray {
     return false;
   }
 
+  /// Era spine retirement (IBR / hazard eras): stamps the spine's
+  /// [birth, retire] interval, ticks the era clock and scans — never
+  /// waits on readers and never defers to the overflow list. A stalled
+  /// reservation is a fixed interval, so it keeps at most the spines
+  /// whose lifetime overlaps it pending (≤ 2 per locale, independent of
+  /// how many resizes run past it; DESIGN.md §13) — the bound holds by
+  /// construction, with no budget to escalate. The StallMonitor still
+  /// hears about the stalled reader, as a purely diagnostic
+  /// kEraReservation once the laggard trails by kEraStallLagThreshold.
+  static constexpr std::uint64_t kEraStallLagThreshold = 3;
+
+  void retire_spine_interval(PerLocale& p, std::uint32_t l,
+                             Snapshot<T>* old, std::uint64_t birth_era) {
+    const std::size_t bytes = spine_bytes(*old);
+    const reclaim::RetireResult res = p.ebr.retire(
+        [](void* s) { delete static_cast<Snapshot<T>*>(s); }, old, bytes,
+        birth_era);
+    obs::trace_instant("rcua.resize.reclaim", "rcua", l);
+    if (res.pending_objects > 0 &&
+        res.reservation_lag >= kEraStallLagThreshold) {
+      obs::health::epoch_lag().update_max(res.reservation_lag);
+      reclaim::StallDiagnostic diag;
+      diag.kind = reclaim::StallDiagnostic::Kind::kEraReservation;
+      diag.domain = &p.ebr;
+      diag.locale = l;
+      diag.epoch = res.era;
+      diag.stripe = res.laggard_slot;
+      diag.era_lag = res.reservation_lag;
+      diag.overflow_bytes = res.pending_bytes;
+      monitor_->record_stall(diag);
+    }
+  }
+
   /// Frees locale `l`'s deferred spines that have seen both reader
   /// columns empty since deferral (the "retry reclamation
   /// opportunistically" half of the watchdog design; called from every
-  /// resize path and reclaim_overflow()).
+  /// resize path and reclaim_overflow()). Era policies have no overflow
+  /// list — their pending spines live on the reclaimer's own (bounded)
+  /// retire list, and a scan is the retry.
   void flush_overflow_at(std::uint32_t l) {
     PerLocale& p = priv_at(l);
-    if (p.overflow.pending_objects() == 0) return;
-    const auto flushed = p.overflow.flush_ready(
-        [&](std::size_t parity) { return p.ebr.readers_at(parity) == 0; });
-    if (flushed.objects != 0) {
-      cluster_.locale(l).note_free(flushed.bytes);
-      monitor_->note_flushed(flushed.bytes, flushed.objects);
+    if constexpr (Policy::is_interval) {
+      if (p.ebr.pending_objects() != 0) p.ebr.scan();
+    } else {
+      if (p.overflow.pending_objects() == 0) return;
+      const auto flushed = p.overflow.flush_ready(
+          [&](std::size_t parity) { return p.ebr.readers_at(parity) == 0; });
+      if (flushed.objects != 0) {
+        cluster_.locale(l).note_free(flushed.bytes);
+        monitor_->note_flushed(flushed.bytes, flushed.objects);
+      }
     }
   }
 
@@ -971,6 +1116,9 @@ class RCUArray {
     if constexpr (Policy::is_qsbr) {
       qsbr_->ensure_participant();
       body(p.global_snapshot.load(std::memory_order_acquire));
+    } else if constexpr (Policy::is_interval) {
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      body(guard.protect(p.global_snapshot));
     } else {
       typename Policy::Reclaimer::ReadGuard guard(p.ebr);
       body(p.global_snapshot.load(std::memory_order_acquire));
@@ -1020,6 +1168,18 @@ class RCUArray {
       sim::charge(m.atomic_load_ns);
       if (rt::FaultPlan* plan = cluster_.fault_plan()) {
         plan->stall_here(here);  // chaos: stall while holding the snapshot
+      }
+      return helper(s);
+    } else if constexpr (Policy::is_interval) {
+      // Era read section: the reservation published by protect() covers
+      // the spine until the guard dies. The returned reference escapes
+      // the section deliberately, same as EBR below (§III-C): it points
+      // into a recycled block, not the reclaimed spine.
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      sim::charge(m.atomic_load_ns);
+      Snapshot<T>* s = guard.protect(p.global_snapshot);
+      if (rt::FaultPlan* plan = cluster_.fault_plan()) {
+        plan->stall_here(here);  // chaos: stall while holding a reservation
       }
       return helper(s);
     } else {
@@ -1153,6 +1313,9 @@ class RCUArray {
     if constexpr (Policy::is_qsbr) {
       qsbr_->ensure_participant();
       return body(p.global_snapshot.load(std::memory_order_acquire));
+    } else if constexpr (Policy::is_interval) {
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      return body(guard.protect(p.global_snapshot));
     } else {
       // Explicit guard (not ebr.read): the bounds check above may throw,
       // and the guard's destructor retracts on unwind.
@@ -1167,6 +1330,9 @@ class RCUArray {
     if constexpr (Policy::is_qsbr) {
       qsbr_->ensure_participant();
       return fn(*p.global_snapshot.load(std::memory_order_acquire));
+    } else if constexpr (Policy::is_interval) {
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      return fn(*guard.protect(p.global_snapshot));
     } else {
       return p.ebr.read([&] {
         return fn(*p.global_snapshot.load(std::memory_order_acquire));

@@ -10,6 +10,9 @@
 // Comm-side health (async in-flight depth, cache hit ratio) lives in
 // the per-CommLayer registry instead; see runtime/comm.hpp.
 
+#include <string>
+#include <string_view>
+
 #include "obs/metrics.hpp"
 
 namespace rcua::obs::health {
@@ -46,6 +49,26 @@ inline Gauge& overflow_bytes_hwm() {
   static Gauge& gv =
       Registry::global().gauge("rcua.reclaim.overflow_bytes_hwm");
   return gv;
+}
+
+/// High-water retired-but-unreclaimed bytes for one era-based
+/// reclamation policy ("ibr" / "he") — the bounded-by-construction
+/// claim, measured. Fed by BasicEraReclaimer on every retire; unlike
+/// the static handles above the name varies per policy, so callers
+/// resolve once (the reclaimer constructor caches the reference).
+inline Gauge& unreclaimed_bytes_hwm(std::string_view policy) {
+  std::string name = "rcua.reclaim.unreclaimed_bytes.";
+  name.append(policy);
+  return Registry::global().gauge(name);
+}
+
+/// Era-reclaimer scan latency (BasicEraReclaimer::scan): reservation
+/// snapshot + retire-list sweep. The scheme's write-side overhead lives
+/// here — where EBR pays grace_ns, IBR/HE pay era_scan_ns.
+inline Histogram& era_scan_ns() {
+  static Histogram& h =
+      Registry::global().histogram("rcua.reclaim.era_scan_ns");
+  return h;
 }
 
 /// Grace-period waits that hit their deadline and were diagnosed.

@@ -1,0 +1,19 @@
+#include "reclaim/eras.hpp"
+
+#include "platform/topology.hpp"
+#include "util/env.hpp"
+
+namespace rcua::reclaim {
+
+std::size_t default_era_slots() {
+  static const std::size_t cached = [] {
+    std::size_t n = util::env_u64("RCUA_ERA_SLOTS", 0);
+    if (n == 0) n = 2 * plat::hardware_threads();
+    std::size_t p = 2;
+    while (p < n && p < 512) p <<= 1;
+    return p;
+  }();
+  return cached;
+}
+
+}  // namespace rcua::reclaim

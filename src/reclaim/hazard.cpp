@@ -101,10 +101,12 @@ void HazardDomain::retire_raw(void* obj, void (*deleter)(void*)) {
   rec.retired.push_back({obj, deleter});
   retired_total_.value.fetch_add(1, std::memory_order_relaxed);
   sim::charge(sim::CostModel::get().atomic_rmw_ns);
+  RCUA_SCHED_POINT("hazard.retire");
   if (rec.retired.size() >= retire_threshold_) scan();
 }
 
 std::size_t HazardDomain::scan() {
+  RCUA_SCHED_POINT("hazard.scan");
   Record& rec = local_record();
   // Snapshot every protected pointer.
   std::vector<void*> protected_ptrs;

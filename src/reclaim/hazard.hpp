@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "platform/align.hpp"
+#include "testing/sched_point.hpp"
 
 namespace rcua::reclaim {
 
@@ -53,11 +54,20 @@ class HazardDomain {
       T* p = src.load(std::memory_order_acquire);
       for (;;) {
         rec_.slots[slot_].store(p, std::memory_order_seq_cst);
+        RCUA_SCHED_POINT("hazard.guard.published");
         T* again = src.load(std::memory_order_seq_cst);
         if (again == p) break;
         p = again;
       }
       ptr_ = p;
+      if (RCUA_SCHED_MUT(hazard_clear_before_access)) {
+        // MUTATION: the pointer is in hand, so drop the slot before the
+        // guarded accesses — the premature hazard release. The very next
+        // retire+scan sees no protection and frees the object under the
+        // live guard (tests/test_sched_hazard.cpp).
+        rec_.slots[slot_].store(nullptr, std::memory_order_seq_cst);
+        RCUA_SCHED_POINT("hazard.guard.cleared_early");
+      }
     }
     ~Guard() { rec_.slots[slot_].store(nullptr, std::memory_order_release); }
     Guard(const Guard&) = delete;

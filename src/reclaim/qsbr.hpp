@@ -154,6 +154,20 @@ class Qsbr final : public rt::EpochDomain {
   /// Number of deferrals currently pending on the calling thread.
   [[nodiscard]] std::size_t pending_on_this_thread();
 
+  /// Deferrals pending across EVERY record of this domain, including
+  /// those stranded on exited (parked) threads that no checkpoint will
+  /// ever visit again — the measured drain target for shutdown paths
+  /// (checkpoints reclaim the live threads' share; flush_unsafe() takes
+  /// the stranded remainder).
+  [[nodiscard]] std::size_t pending_total() const {
+    std::size_t n = 0;
+    for (const rt::ThreadRecord* r = registry_.head(); r != nullptr;
+         r = r->next) {
+      n += r->slots[slot_].defer_list.size();
+    }
+    return n;
+  }
+
   /// Reclaims every pending deferral of every thread. ONLY safe when no
   /// thread holds protected references (shutdown, test teardown).
   void flush_unsafe() { registry_.flush_slot_unsafe(slot_); }

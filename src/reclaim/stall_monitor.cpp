@@ -54,6 +54,16 @@ std::string StallDiagnostic::describe() const {
                     domain, locale == UINT32_MAX ? -1 : static_cast<int>(locale),
                     overflow_bytes, budget_bytes, epoch);
       break;
+    case Kind::kEraReservation:
+      std::snprintf(buf, sizeof(buf),
+                    "rcua: era stall: domain %p locale %d slot %zd trails "
+                    "the era clock by %" PRIu64 " era(s) at era %" PRIu64
+                    ", holding %zu bytes pending (bounded)",
+                    domain, locale == UINT32_MAX ? -1 : static_cast<int>(locale),
+                    stripe == SIZE_MAX ? static_cast<std::ptrdiff_t>(-1)
+                                       : static_cast<std::ptrdiff_t>(stripe),
+                    era_lag, epoch, overflow_bytes);
+      break;
   }
   return std::string(buf);
 }

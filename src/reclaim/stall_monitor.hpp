@@ -102,6 +102,12 @@ struct StallDiagnostic {
     kQsbrLaggard = 1,
     /// The overflow retire list exceeded its byte budget.
     kOverflowBudget = 2,
+    /// An era reservation (IBR / hazard eras) trails the era clock far
+    /// enough to hold retired objects pending. Unlike the kinds above
+    /// this never gates progress or defers to an overflow list — the
+    /// pending set is bounded by construction — so it is purely
+    /// diagnostic: the stalled reader exists and should be found.
+    kEraReservation = 3,
   };
 
   Kind kind = Kind::kEbrReader;
@@ -125,6 +131,10 @@ struct StallDiagnostic {
   /// Overflow-budget escalations: bytes pending vs the configured budget.
   std::size_t overflow_bytes = 0;
   std::size_t budget_bytes = 0;
+  /// Era reservations: how many eras the laggard reservation trails the
+  /// clock (kEraReservation; `stripe` carries the slot, `overflow_bytes`
+  /// the blocked-pending bytes).
+  std::uint64_t era_lag = 0;
 
   /// One-line human-readable rendering ("which stripe/thread is stuck,
   /// for how long, at what epoch").

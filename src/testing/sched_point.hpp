@@ -109,6 +109,24 @@ struct Mutations {
   /// present, and serving it is a stale read of reclaimed state
   /// (DESIGN.md §11; tests/test_sched_cache.cpp).
   bool cache_use_after_invalidate = false;
+  /// IBR: publish the era reservation AFTER the protected-pointer load,
+  /// with no reverify loop — the tempting "load first, reserve what you
+  /// saw" order. Plausible (the reservation still covers the loaded
+  /// object's birth era) but unsound: between the load and the publish a
+  /// writer's retire+scan observes no reservation and frees the loaded
+  /// object (tests/test_sched_eras.cpp).
+  bool ibr_reserve_after_load = false;
+  /// Hazard eras: clear the reservation slot as soon as the protected
+  /// pointer is in hand, before the section's last access — the "pointer
+  /// is already local" premature release. Plausible (the load itself was
+  /// covered) but unsound: the very next retire+scan sees no reservation
+  /// and frees the object under the section (tests/test_sched_eras.cpp).
+  bool he_clear_before_access = false;
+  /// Hazard pointers (baselines/hazard_array.hpp): clear the hazard slot
+  /// after the publish-verify loop but before the guarded accesses — the
+  /// same premature release expressed against raw pointer slots
+  /// (tests/test_sched_hazard.cpp).
+  bool hazard_clear_before_access = false;
 };
 [[nodiscard]] Mutations& mutations() noexcept;
 

@@ -11,6 +11,8 @@
 
 namespace rt = rcua::rt;
 using rcua::EbrPolicy;
+using rcua::HazardErasPolicy;
+using rcua::IbrPolicy;
 using rcua::QsbrPolicy;
 using rcua::RCUArray;
 
@@ -21,7 +23,8 @@ struct ArrayOpsTyped : public ::testing::Test {
   using Array = RCUArray<std::uint64_t, Policy>;
 };
 
-using Policies = ::testing::Types<EbrPolicy, QsbrPolicy>;
+using Policies =
+    ::testing::Types<EbrPolicy, QsbrPolicy, IbrPolicy, HazardErasPolicy>;
 TYPED_TEST_SUITE(ArrayOpsTyped, Policies);
 
 void drain_qsbr() { rcua::reclaim::Qsbr::global().flush_unsafe(); }

@@ -12,6 +12,8 @@
 namespace rt = rcua::rt;
 using rcua::DsiArray;
 using rcua::EbrPolicy;
+using rcua::HazardErasPolicy;
+using rcua::IbrPolicy;
 using rcua::QsbrPolicy;
 
 namespace {
@@ -20,7 +22,8 @@ template <typename Policy>
 struct DsiTyped : public ::testing::Test {
   using Array = DsiArray<std::uint64_t, Policy>;
 };
-using Policies = ::testing::Types<EbrPolicy, QsbrPolicy>;
+using Policies =
+    ::testing::Types<EbrPolicy, QsbrPolicy, IbrPolicy, HazardErasPolicy>;
 TYPED_TEST_SUITE(DsiTyped, Policies);
 
 void drain_qsbr() { rcua::reclaim::Qsbr::global().flush_unsafe(); }

@@ -10,6 +10,8 @@
 #include "core/rcu_array.hpp"
 
 using rcua::EbrPolicy;
+using rcua::HazardErasPolicy;
+using rcua::IbrPolicy;
 using rcua::QsbrPolicy;
 using rcua::RCUArray;
 namespace rt = rcua::rt;
@@ -21,7 +23,8 @@ struct RcuArrayTyped : public ::testing::Test {
   using Array = RCUArray<std::uint64_t, Policy>;
 };
 
-using Policies = ::testing::Types<EbrPolicy, QsbrPolicy>;
+using Policies =
+    ::testing::Types<EbrPolicy, QsbrPolicy, IbrPolicy, HazardErasPolicy>;
 TYPED_TEST_SUITE(RcuArrayTyped, Policies);
 
 void drain_qsbr() { rcua::reclaim::Qsbr::global().flush_unsafe(); }

@@ -13,6 +13,8 @@
 #include "platform/rng.hpp"
 
 using rcua::EbrPolicy;
+using rcua::HazardErasPolicy;
+using rcua::IbrPolicy;
 using rcua::QsbrPolicy;
 using rcua::RCUArray;
 namespace rt = rcua::rt;
@@ -24,7 +26,8 @@ struct RcuArrayConc : public ::testing::Test {
   using Array = RCUArray<std::uint64_t, Policy>;
 };
 
-using Policies = ::testing::Types<EbrPolicy, QsbrPolicy>;
+using Policies =
+    ::testing::Types<EbrPolicy, QsbrPolicy, IbrPolicy, HazardErasPolicy>;
 TYPED_TEST_SUITE(RcuArrayConc, Policies);
 
 void drain_qsbr() { rcua::reclaim::Qsbr::global().flush_unsafe(); }
