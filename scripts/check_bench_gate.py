@@ -27,6 +27,7 @@ Refresh the baseline after an intended protocol change with:
 """
 
 import argparse
+import difflib
 import glob
 import json
 import sys
@@ -50,7 +51,13 @@ COMM_COUNTERS = ("gets", "puts", "executes",
                  "hits", "misses", "fills", "evictions",
                  "retired", "freed", "era_advances", "era_scans",
                  "stalled_spines", "defers",
-                 "pending_end", "pending_after_flush")
+                 "pending_end", "pending_after_flush",
+                 # Sharded service layer (bench_ablation_sharding):
+                 # routing is block-cyclic arithmetic + an RCU map read
+                 # and migration traffic is a pure function of the block
+                 # layout, so all of these are exact-match.
+                 "routed", "routed_remote", "remaps",
+                 "migrations", "migrated_blocks")
 
 RETRY_FACTOR = 10
 RETRY_SLACK = 1000
@@ -73,6 +80,18 @@ def comm_key(entry):
     return tuple(
         sorted((k, v) for k, v in entry.items() if k not in COMM_COUNTERS)
     )
+
+
+def render_comm_lines(bench, entries):
+    """Canonical one-counter-per-line rendering of a bench's gated
+    comm_stat counters, for the unified diff shown on drift."""
+    lines = []
+    for entry in sorted(entries, key=comm_key):
+        label = " ".join(f"{k}={v}" for k, v in comm_key(entry))
+        for counter in COMM_COUNTERS:
+            if counter in entry:
+                lines.append(f"{bench} [{label}] {counter}={entry[counter]}")
+    return lines
 
 
 def check_comm_stats(bench, base, cur, failures):
@@ -208,6 +227,8 @@ def main():
 
     failures = []
     warnings = []
+    base_diff_lines = []
+    cur_diff_lines = []
     for bench, b in baseline.get("results", {}).items():
         if "error" in b:
             continue
@@ -220,10 +241,18 @@ def main():
                 f"{bench}: exited with rc={c.get('returncode')}"
             )
             continue
+        n_before = len(failures)
         check_comm_stats(
             bench, b.get("comm_stats") or [], c.get("comm_stats") or [],
             failures,
         )
+        if len(failures) > n_before:
+            # Only drifted benches enter the diff — it stays readable
+            # when one counter moves in a 7-bench artifact.
+            base_diff_lines += render_comm_lines(bench,
+                                                 b.get("comm_stats") or [])
+            cur_diff_lines += render_comm_lines(bench,
+                                                c.get("comm_stats") or [])
         check_obs_stats(
             bench, b.get("obs_stats") or [], c.get("obs_stats") or [],
             failures,
@@ -246,6 +275,17 @@ def main():
               f"counter regression(s):", file=sys.stderr)
         for f_ in failures:
             print(f"  - {f_}", file=sys.stderr)
+        diff = list(difflib.unified_diff(
+            base_diff_lines, cur_diff_lines,
+            fromfile=f"baseline ({args.baseline})",
+            tofile=f"current ({current_path})",
+            lineterm="",
+        ))
+        if diff:
+            print("\nunified diff of the drifted benches' gated "
+                  "counters:", file=sys.stderr)
+            for line in diff:
+                print(line, file=sys.stderr)
         print(
             "\nIf the change is intentional, refresh the baseline:\n"
             "  cmake --build build --target bench-json\n"

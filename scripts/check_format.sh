@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fails if any tracked C++ file deviates from .clang-format.
+#
+# Usage: scripts/check_format.sh [--fix]
+#   --fix rewrites the files in place instead of failing.
+#
+# The file set is everything git tracks under src/ tests/ bench/
+# examples/ — generated build trees never enter the check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "error: clang-format not found on PATH." >&2
+  echo "Install it (e.g. 'apt-get install clang-format') and re-run;" >&2
+  echo "CI runs this check with the distro's default clang-format." >&2
+  exit 2
+fi
+
+mode=(--dry-run --Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.hpp' 'src/**/*.cpp' \
+  'src/*.hpp' 'tests/*.cpp' 'bench/*.cpp' 'bench/*.hpp' \
+  'examples/*.cpp')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "error: file list came up empty — run from a git checkout" >&2
+  exit 2
+fi
+
+clang-format --style=file "${mode[@]}" "${files[@]}"
+echo "format check OK (${#files[@]} files)"

@@ -39,6 +39,7 @@ DEFAULT_BENCHES = [
     "bench_ablation_aggregation",
     "bench_ablation_async",
     "bench_ablation_cache",
+    "bench_ablation_sharding",
 ]
 MICRO_BENCH = "bench_micro_primitives"
 
@@ -172,13 +173,26 @@ def main():
 
     benches = [b for b in args.benches.split(",") if b] or DEFAULT_BENCHES
 
+    # A missing binary is a hard error, not a skip: a silently skipped
+    # bench drops its counters from the JSON, and the downstream gate
+    # would report every one of them as "present in baseline, not run
+    # now" — fail here with the actionable message instead.
+    missing = [
+        name
+        for name in benches
+        if not os.path.isfile(os.path.join(bench_dir, name))
+    ]
+    if missing:
+        sys.exit(
+            f"error: bench binar{'y' if len(missing) == 1 else 'ies'} not "
+            f"built: {', '.join(missing)} — run "
+            f"`cmake --build {args.build_dir}` (with the bench targets "
+            f"enabled) before invoking run_benchmarks.py"
+        )
+
     results = {}
     for name in benches:
         path = os.path.join(bench_dir, name)
-        if not os.path.isfile(path):
-            print(f"[bench-json] SKIP {name} (binary not built)")
-            results[name] = {"error": "binary not found"}
-            continue
         print(f"[bench-json] running {name} ...")
         started = time.time()
         code, out, err = run_binary(path, env)

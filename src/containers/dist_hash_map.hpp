@@ -29,7 +29,14 @@ namespace rcua::cont {
 /// Keys and values must be trivially copyable and at most 8 bytes (they
 /// are stored in atomics). Erase uses tombstones that a matching
 /// re-insert revives; chains never shrink.
-template <typename K, typename V, typename Policy = QsbrPolicy>
+///
+/// `Backend` is the storage engine for the slab: RCUArray (default) or
+/// svc::ShardedCollection, which makes the map a shard client — chains
+/// still address slots by index, and the sharded backend's block-cyclic
+/// routing keeps those indices stable across remaps and migrations for
+/// the same reason Lemma 6 keeps them stable across resizes.
+template <typename K, typename V, typename Policy = QsbrPolicy,
+          template <typename, typename> class Backend = RCUArray>
 class DistHashMap {
   static_assert(std::is_trivially_copyable_v<K> && sizeof(K) <= 8,
                 "keys are stored in 64-bit atomics");
@@ -254,12 +261,18 @@ class DistHashMap {
   }
 
   std::size_t num_buckets_;
-  RCUArray<Slot, Policy> slots_;
+  Backend<Slot, Policy> slots_;
   plat::CacheAligned<std::atomic<std::size_t>> cursor_{std::size_t{0}};
   plat::CacheAligned<std::atomic<std::size_t>> count_{std::size_t{0}};
   std::mutex grow_mu_;
   std::mutex recycle_mu_;
   std::vector<std::size_t> recycled_;
+
+ public:
+  /// The backing slab — exposed so shard-client tests can drive the
+  /// sharded backend's remap surface directly (callers bind it with
+  /// `auto&`; the slot type is an implementation detail).
+  [[nodiscard]] Backend<Slot, Policy>& backing() noexcept { return slots_; }
 };
 
 }  // namespace rcua::cont

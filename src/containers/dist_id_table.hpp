@@ -21,7 +21,13 @@ namespace rcua::cont {
 /// Lookups are RCUArray reads (parallel-safe with growth); allocation
 /// reserves ids with a fetch-add fast path and falls back to a mutexed
 /// free list for recycled ids.
-template <typename V, typename Policy = QsbrPolicy>
+///
+/// `Backend` is the storage engine: RCUArray (default) or
+/// svc::ShardedCollection — ids stay stable across shard remaps and
+/// migrations because the sharded backend routes by index arithmetic
+/// and only re-homes storage, never renumbers it.
+template <typename V, typename Policy = QsbrPolicy,
+          template <typename, typename> class Backend = RCUArray>
 class DistIdTable {
  public:
   struct Options {
@@ -44,27 +50,44 @@ class DistIdTable {
         id = free_ids_.back();
         free_ids_.pop_back();
         live_->fetch_add(1, std::memory_order_relaxed);
-        arr_.index(id) = std::move(value);
+        arr_.write(id, std::move(value));
         return id;
       }
     }
     id = next_->fetch_add(1, std::memory_order_acq_rel);
     ensure_capacity(id + 1);
     live_->fetch_add(1, std::memory_order_relaxed);
-    arr_.index(id) = std::move(value);
+    // In-section store (write, not index): stores stay migration-safe
+    // against a concurrent shard rehome of the sharded backend.
+    arr_.write(id, std::move(value));
     return id;
   }
 
   /// Reference to the value behind `id`. Parallel-safe with allocate /
   /// growth (waits out the bounded replication gap if this locale's
   /// replica lags the growth that created `id`). The caller must not use
-  /// an id it has released.
+  /// an id it has released. NOT safe concurrent with a live migration of
+  /// the sharded backend — the reference escapes the read-side section,
+  /// which rehome's reclamation does not cover (use read() for lookups
+  /// that may race a migration).
   V& get(std::size_t id) {
     if (arr_.capacity() <= id) {
       plat::Backoff backoff(4);
       while (arr_.capacity() <= id) backoff.pause();
     }
     return arr_.index(id);
+  }
+
+  /// Value lookup: the migration-safe twin of get(). The copy happens
+  /// inside the backend's read-side section, so it is safe concurrent
+  /// with shard remaps AND live migrations (rehome reclaims replaced
+  /// blocks; escaped references don't survive that, values do).
+  V read(std::size_t id) {
+    if (arr_.capacity() <= id) {
+      plat::Backoff backoff(4);
+      while (arr_.capacity() <= id) backoff.pause();
+    }
+    return arr_.read(id);
   }
 
   /// Recycles `id`. The slot's value is left in place (callers treat a
@@ -84,6 +107,7 @@ class DistIdTable {
     return next_->load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t capacity() const { return arr_.capacity(); }
+  [[nodiscard]] Backend<V, Policy>& backing() noexcept { return arr_; }
 
  private:
   void ensure_capacity(std::size_t needed) {
@@ -97,7 +121,7 @@ class DistIdTable {
     }
   }
 
-  RCUArray<V, Policy> arr_;
+  Backend<V, Policy> arr_;
   plat::CacheAligned<std::atomic<std::size_t>> next_{std::size_t{0}};
   plat::CacheAligned<std::atomic<std::size_t>> live_{std::size_t{0}};
   std::mutex free_mu_;

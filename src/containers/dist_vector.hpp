@@ -28,7 +28,13 @@ namespace rcua::cont {
 /// happens-before edge (no torn or default values, no data race).
 /// Producers briefly wait for earlier reservations to publish; the gap is
 /// the time between a competitor's fetch-add and its slot store.
-template <typename T, typename Policy = QsbrPolicy>
+/// `Backend` is the storage engine: RCUArray (the default, one array
+/// with round-robin blocks) or svc::ShardedCollection (block-cyclic
+/// shards with live migration — the container becomes a shard client
+/// without further changes; both expose the same constructor shape and
+/// method subset).
+template <typename T, typename Policy = QsbrPolicy,
+          template <typename, typename> class Backend = RCUArray>
 class DistVector {
  public:
   struct Options {
@@ -46,12 +52,14 @@ class DistVector {
   DistVector(const DistVector&) = delete;
   DistVector& operator=(const DistVector&) = delete;
 
-  /// Appends `value`; returns its index. Parallel-safe.
+  /// Appends `value`; returns its index. Parallel-safe (the slot store
+  /// is a value write — in-section, so it also stays safe against a
+  /// concurrent shard migration of a sharded backend).
   std::size_t push_back(T value) {
     const std::size_t idx =
         reserved_->fetch_add(1, std::memory_order_relaxed);
     ensure_capacity(idx + 1);
-    arr_.index(idx) = std::move(value);
+    arr_.write(idx, std::move(value));
     // Publish in reservation order: slot idx becomes visible through
     // size() only once every earlier slot already is, so readers below
     // size() always see completed writes (release pairs with the acquire
@@ -79,7 +87,7 @@ class DistVector {
   /// release CAS as push_back, so size() still counts only fully
   /// written slots.
   std::size_t push_back_bulk(std::span<const T> values,
-                             typename RCUArray<T, Policy>::BulkOptions
+                             typename Backend<T, Policy>::BulkOptions
                                  opts = {}) {
     const std::size_t n = values.size();
     if (n == 0) return size();
@@ -103,7 +111,7 @@ class DistVector {
   /// counterpart of push_back_bulk.
   [[nodiscard]] std::vector<T> read_range(
       std::size_t first, std::size_t count,
-      typename RCUArray<T, Policy>::BulkOptions opts = {}) {
+      typename Backend<T, Policy>::BulkOptions opts = {}) {
     if (first + count > size() || first + count < first) {
       throw std::out_of_range("DistVector::read_range beyond size");
     }
@@ -131,7 +139,7 @@ class DistVector {
     return size_->load(std::memory_order_acquire);
   }
   [[nodiscard]] std::size_t capacity() const { return arr_.capacity(); }
-  [[nodiscard]] RCUArray<T, Policy>& backing() noexcept { return arr_; }
+  [[nodiscard]] Backend<T, Policy>& backing() noexcept { return arr_; }
 
  private:
   /// Index `needed-1` was published by another thread, so the resize
@@ -157,7 +165,7 @@ class DistVector {
     }
   }
 
-  RCUArray<T, Policy> arr_;
+  Backend<T, Policy> arr_;
   /// Next index to hand out; may run ahead of `size_` while writes are in
   /// flight.
   plat::CacheAligned<std::atomic<std::size_t>> reserved_{std::size_t{0}};

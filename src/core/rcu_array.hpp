@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -133,6 +134,14 @@ class RCUArray {
     /// default defers to RCUA_CACHE_CAPACITY_BYTES (itself defaulting
     /// to 0 = off). See DESIGN.md §11.
     std::size_t cache_capacity_bytes = kCacheCapacityFromEnv;
+    /// Sentinel for home_locale: distribute blocks round-robin.
+    static constexpr std::uint32_t kNoHomeLocale = UINT32_MAX;
+    /// Pin every block allocation to ONE locale instead of round-robin —
+    /// the shard-placement mode (DESIGN.md §14): a ShardedCollection
+    /// shard is an RCUArray homed on one locale, so live migration
+    /// (rehome) can move it wholesale. The default keeps the paper's
+    /// round-robin distribution.
+    std::uint32_t home_locale = kNoHomeLocale;
   };
 
   static constexpr bool uses_qsbr = Policy::is_qsbr;
@@ -153,9 +162,14 @@ class RCUArray {
                                 Options::kCacheCapacityFromEnv
                             ? rt::BlockCache::capacity_from_env()
                             : options.cache_capacity_bytes),
+        home_locale_(options.home_locale),
         write_lock_(cluster, /*owner_locale=*/0),
         pid_(cluster.privatization().create()) {
     if (block_size_ == 0) throw std::invalid_argument("block_size == 0");
+    if (home_locale_ != Options::kNoHomeLocale &&
+        home_locale_ >= cluster.num_locales()) {
+      throw std::invalid_argument("home_locale >= num_locales");
+    }
     cluster_.coforall_locales([&](std::uint32_t l) {
       auto* p = new PerLocale;
       p->global_snapshot.store(new Snapshot<T>(), std::memory_order_relaxed);
@@ -228,30 +242,40 @@ class RCUArray {
   /// assert-only contract.
   T read(std::size_t i) {
     if (!cache_enabled()) {
-      T& slot = index_rw(i, false);
-      if constexpr (plat::relaxed_capable_v<T>) {
-        return plat::relaxed_load(slot);
-      } else {
-        return slot;
-      }
+      // The load happens INSIDE the read-side section (unlike index(),
+      // whose returned reference deliberately escapes it): value ops
+      // must stay safe against rehome(), which — unlike resize — really
+      // does reclaim the replaced blocks once readers drain.
+      return with_slot(i, /*is_write=*/false, [](T& slot, Block<T>*) -> T {
+        if constexpr (plat::relaxed_capable_v<T>) {
+          return plat::relaxed_load(slot);
+        } else {
+          return slot;
+        }
+      });
     }
     return read_cached(i);
   }
   void write(std::size_t i, T value) {
-    Block<T>* blk = nullptr;
-    T& slot = index_rw(i, true, cache_enabled() ? &blk : nullptr);
-    if constexpr (plat::relaxed_capable_v<T>) {
-      plat::relaxed_store(slot, std::move(value));
-    } else {
-      slot = std::move(value);
-    }
-    // Write-through coherence (DESIGN.md §11): the PUT above already
-    // updated the block; bumping its write generation AFTER the store
-    // lands (release) invalidates every cached copy of the block on its
-    // next lookup. No broadcast — the stamp travels with the block.
-    // Safe post-section for the same reason the store is: blocks are
-    // recycled, not reclaimed (Lemma 6).
-    if (blk != nullptr) blk->bump_generation();
+    // Store + generation bump both land INSIDE the section for the same
+    // migration-safety reason as read(): a rehome drain that completes
+    // between a section exit and a post-section store would free the
+    // block out from under the store. §III-C's escaping-reference
+    // relaxation only covers recycled blocks (resize), not reclaimed
+    // ones (rehome).
+    with_slot(i, /*is_write=*/true, [&](T& slot, Block<T>* b) {
+      if constexpr (plat::relaxed_capable_v<T>) {
+        plat::relaxed_store(slot, std::move(value));
+      } else {
+        slot = std::move(value);
+      }
+      // Write-through coherence (DESIGN.md §11): the PUT above already
+      // updated the block; bumping its write generation AFTER the store
+      // lands (release) invalidates every cached copy of the block on
+      // its next lookup. No broadcast — the stamp travels with the
+      // block.
+      if (cache_enabled()) b->bump_generation();
+    });
   }
 
   // -- Resizing (Algorithm 3, Resize) ----------------------------------
@@ -280,8 +304,9 @@ class RCUArray {
       rt::AsyncComm async(cluster_.comm(), here);
       std::vector<rt::future<Block<T>*>> pending;
       pending.reserve(nblocks);
+      const bool pinned = home_locale_ != Options::kNoHomeLocale;
       for (std::size_t k = 0; k < nblocks; ++k) {
-        const std::uint32_t target = loc;
+        const std::uint32_t target = pinned ? home_locale_ : loc;
         pending.push_back(
             async.execute(target, /*weight=*/0, [this, target]() {
               Block<T>* b =
@@ -289,7 +314,7 @@ class RCUArray {
               sim::charge(sim::CostModel::get().alloc_block_ns);
               return b;
             }));
-        loc = (loc + 1) % cluster_.num_locales();
+        if (!pinned) loc = (loc + 1) % cluster_.num_locales();
       }
       for (auto& f : pending) new_blocks.push_back(f.get());
     }
@@ -453,6 +478,247 @@ class RCUArray {
     }
     resizes_.fetch_add(1, std::memory_order_relaxed);
     write_lock_.unlock();
+  }
+
+  // -- Live migration (DESIGN.md §14) -----------------------------------
+
+  /// EXTENSION: live migration of every block of this array to locale
+  /// `dst` — the shard-migration primitive behind
+  /// service::ShardedCollection. Protocol, in order:
+  ///
+  ///   1. COPY: allocate replacement blocks on `dst` and copy the source
+  ///      contents into them through the async comm path, pipelined
+  ///      under the in-flight window (§10). The replacements are
+  ///      unpublished — no reader can observe them — so a mid-copy
+  ///      destination death (FaultPlan kKillLocale, consulted between
+  ///      block copies) rolls back by freeing them and returning false
+  ///      with the array untouched.
+  ///   2. PUBLISH: every copy completion has drained; each locale swaps
+  ///      in a clone_replace spine and invalidates its BlockCache
+  ///      entries for this array (the §11 eviction interlock — cached
+  ///      copies of replaced blocks must leave the ledger before the
+  ///      frees below).
+  ///   3. DRAIN + RECLAIM: wait out every locale's readers of the old
+  ///      block mapping (blocking, like resize_remove: the replaced
+  ///      blocks are shared by every locale's old spine), then free the
+  ///      replaced source blocks. Old spines ride the configured policy
+  ///      (EBR drain / QSBR deferral / era retire) like any resize.
+  ///
+  /// The migrate→invalidate→drain ordering is the §14 rule; the two
+  /// sched mutations (`migrate_publish_before_copy_complete`,
+  /// `migrate_reclaim_before_mapping_drain`) each break one arrow and
+  /// tests/test_sched_migration.cpp proves the harness catches both.
+  ///
+  /// Concurrency contract: VALUE ops (read/write/bulk/View) are safe
+  /// throughout, on every locale — they complete inside their read-side
+  /// section (with_slot). Escaping REFERENCES (index/operator[]/at) are
+  /// NOT migration-safe: §III-C lets them outlive the section only
+  /// because resize recycles blocks, and rehome reclaims the replaced
+  /// blocks once readers drain — a reference obtained before the drain
+  /// and dereferenced after it reads freed memory. Don't hold element
+  /// references across a migration of this array. Element WRITES
+  /// concurrent with the copy phase may land in a replaced block after
+  /// its contents were copied and be lost — structural writers must
+  /// serialize against migration (ShardedCollection's remap lock does)
+  /// or tolerate last-writer-wins. Returns true when the migration
+  /// published, false on a fault-injected rollback.
+  bool rehome(std::uint32_t dst) {
+    if (dst >= cluster_.num_locales()) {
+      throw std::invalid_argument("rehome: dst locale out of range");
+    }
+    obs::TraceSpan span("rcua.rehome", "rcua", dst);
+    const auto& m = sim::CostModel::get();
+    write_lock_.lock();
+    const std::uint32_t here = cluster_.here();
+    Snapshot<T>* cur =
+        priv_at(0).global_snapshot.load(std::memory_order_acquire);
+    const std::vector<Block<T>*> old_blocks = cur->blocks();
+    // Indices whose block lives somewhere other than `dst`; blocks
+    // already homed there are kept in place (nothing to copy or free).
+    std::vector<std::size_t> moved;
+    for (std::size_t i = 0; i < old_blocks.size(); ++i) {
+      if (old_blocks[i]->owner() != dst) moved.push_back(i);
+    }
+    if (moved.empty()) {
+      home_locale_ = dst;
+      write_lock_.unlock();
+      return true;
+    }
+
+    // -- 1. COPY ---------------------------------------------------------
+    std::vector<Block<T>*> fresh(old_blocks);
+    rt::AsyncComm async(cluster_.comm(), here);
+    {
+      std::vector<rt::future<Block<T>*>> allocs;
+      allocs.reserve(moved.size());
+      for (std::size_t k = 0; k < moved.size(); ++k) {
+        allocs.push_back(async.execute(dst, /*weight=*/0, [this, dst]() {
+          Block<T>* b = new Block<T>(cluster_.locale(dst), block_size_);
+          sim::charge(sim::CostModel::get().alloc_block_ns);
+          return b;
+        }));
+      }
+      for (std::size_t k = 0; k < moved.size(); ++k) {
+        fresh[moved[k]] = allocs[k].get();
+      }
+    }
+    std::vector<rt::future<void>> copies;
+    copies.reserve(moved.size());
+    bool killed = false;
+    for (std::size_t i : moved) {
+      // Chaos: the destination dies mid-copy. Everything issued so far
+      // is unpublished, so the rollback is purely local.
+      if (rt::FaultPlan* plan = cluster_.fault_plan();
+          plan != nullptr &&
+          plan->fires(rt::FaultPlan::Action::kKillLocale, dst)) {
+        RCUA_SCHED_POINT("rcua.rehome.killed");
+        killed = true;
+        break;
+      }
+      RCUA_SCHED_POINT("rcua.rehome.copy_issue");
+      Block<T>* src = old_blocks[i];
+      Block<T>* rep = fresh[i];
+      const std::size_t n = block_size_;
+      copies.push_back(async.execute(dst, /*weight=*/n, [src, rep, n]() {
+        RCUA_SCHED_POINT("rcua.rehome.copy_block");
+        const T* s = src->data();
+        T* d = rep->data();
+        if constexpr (plat::relaxed_capable_v<T>) {
+          for (std::size_t k = 0; k < n; ++k) {
+            plat::relaxed_store(d[k], plat::relaxed_load(s[k]));
+          }
+        } else if constexpr (std::is_trivially_copyable_v<T>) {
+          std::memcpy(static_cast<void*>(d), static_cast<const void*>(s),
+                      n * sizeof(T));
+        } else {
+          std::copy(s, s + n, d);
+        }
+        sim::charge(sim::CostModel::get().bulk_copy_ns_per_elem *
+                    static_cast<double>(n));
+      }));
+    }
+    if (killed) {
+      async.cancel_pending();
+      for (std::size_t i : moved) {
+        cluster_.locale(dst).note_free(fresh[i]->capacity() * sizeof(T));
+        delete fresh[i];
+      }
+      rehome_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+      obs::trace_instant("rcua.rehome.rollback", "rcua", dst);
+      write_lock_.unlock();
+      return false;
+    }
+    if (!RCUA_SCHED_MUT(migrate_publish_before_copy_complete)) {
+      // Copy-before-publish: the replacement blocks hold the full
+      // contents BEFORE any reader can be routed to them.
+      for (auto& f : copies) f.wait();
+      RCUA_SCHED_POINT("rcua.rehome.copies_drained");
+    }
+
+    // -- 2. PUBLISH + invalidate -----------------------------------------
+    std::vector<Snapshot<T>*> retired(cluster_.num_locales(), nullptr);
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      flush_overflow_at(l);
+      Snapshot<T>* old = p.global_snapshot.load(std::memory_order_relaxed);
+      Snapshot<T>* nw = Snapshot<T>::clone_replace(*old, fresh);
+      RCUA_SCHED_POINT("rcua.rehome.publish");
+      if constexpr (Policy::is_interval) {
+        const std::uint64_t fresh_birth = p.ebr.current_era();
+        p.global_snapshot.store(nw, std::memory_order_release);
+        RCUA_SCHED_POINT("rcua.rehome.published");
+        retire_spine_interval(
+            p, l, old, std::exchange(p.spine_birth_era, fresh_birth));
+      } else {
+        p.global_snapshot.store(nw, std::memory_order_release);
+        RCUA_SCHED_POINT("rcua.rehome.published");
+        if constexpr (Policy::is_qsbr) {
+          qsbr_->defer_delete(old);
+        } else {
+          retired[l] = old;  // reclaimed after this locale's drain below
+        }
+      }
+      obs::trace_instant("rcua.rehome.publish", "rcua", l);
+      if (p.cache->enabled()) {
+        // Eviction interlock (§11, extended to migration): every cached
+        // copy of this array leaves the ledger before the frees below —
+        // replaced blocks change identity per index, and surviving
+        // entries would only ever be version-stale lazy misses.
+        p.cache->invalidate_tail(array_id(), 0);
+      }
+    });
+    if (RCUA_SCHED_MUT(migrate_publish_before_copy_complete)) {
+      // MUTATION (sched harness only): the replacement spine is already
+      // visible on every locale; only now do the pipelined copy
+      // completions land — a reader in the window saw values the array
+      // never stored.
+      for (auto& f : copies) f.wait();
+    }
+
+    // -- 3. DRAIN + reclaim ----------------------------------------------
+    auto free_moved = [&]() {
+      for (std::size_t i : moved) {
+        Block<T>* b = old_blocks[i];
+        RCUA_SCHED_POINT("rcua.rehome.free_block");
+        cluster_.locale(b->owner()).note_free(b->capacity() * sizeof(T));
+        sim::charge(m.alloc_block_ns / 2);
+        if constexpr (Policy::is_qsbr) {
+          qsbr_->defer_delete(b);
+        } else {
+          delete b;
+        }
+      }
+    };
+    bool freed_early = false;
+    if (RCUA_SCHED_MUT(migrate_reclaim_before_mapping_drain)) {
+      // MUTATION (sched harness only): reclaim the replaced source
+      // blocks before the old mapping's readers drained — a section
+      // that pinned the old spine still holds pointers into them.
+      free_moved();
+      freed_early = true;
+    }
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      if constexpr (Policy::is_qsbr) {
+        // Deferral gates reclamation; nothing to drain here.
+        (void)p;
+      } else if constexpr (Policy::is_interval) {
+        // Replaced blocks are shared by every locale's old spine: mint a
+        // fence era and wait it out, exactly like resize_remove.
+        const std::uint64_t fence = p.ebr.advance_era();
+        RCUA_SCHED_POINT("rcua.rehome.epoch_bumped");
+        p.ebr.wait_for_readers(fence);
+        RCUA_SCHED_POINT("rcua.rehome.drained");
+        p.ebr.scan();
+      } else {
+        // Deliberately BLOCKING even under a non-blocking stall policy,
+        // for the same reason as resize_remove (DESIGN.md §8).
+        const auto epoch = p.ebr.advance_epoch();
+        RCUA_SCHED_POINT("rcua.rehome.epoch_bumped");
+        p.ebr.wait_for_readers(epoch);
+        RCUA_SCHED_POINT("rcua.rehome.drained");
+        delete retired[l];
+      }
+    });
+    if (!freed_early) free_moved();
+    home_locale_ = dst;
+    rehomes_.fetch_add(1, std::memory_order_relaxed);
+    write_lock_.unlock();
+    return true;
+  }
+
+  /// This array's pinned home locale (Options::home_locale, updated by
+  /// rehome); Options::kNoHomeLocale when blocks distribute round-robin.
+  [[nodiscard]] std::uint32_t home_locale() const noexcept {
+    return home_locale_;
+  }
+  /// Completed rehome() migrations.
+  [[nodiscard]] std::uint64_t rehomes() const noexcept {
+    return rehomes_.load(std::memory_order_relaxed);
+  }
+  /// rehome() calls rolled back by an injected kKillLocale fault.
+  [[nodiscard]] std::uint64_t rehome_rollbacks() const noexcept {
+    return rehome_rollbacks_.load(std::memory_order_relaxed);
   }
 
   // -- Snapshot views ----------------------------------------------------
@@ -1139,6 +1405,61 @@ class RCUArray {
     }
   }
 
+  /// Runs `fn(slot, block)` against element `i` INSIDE the read-side
+  /// section — the migration-safe twin of index_rw. Charges, sched
+  /// points and comm accounting are identical to index_rw (the bench
+  /// gate counts on it); the only difference is where the caller's
+  /// access lands relative to the section exit. read()/write() use this
+  /// so value ops stay correct concurrent with rehome(), whose replaced
+  /// blocks are reclaimed (not recycled) after the drain — the §III-C
+  /// escaping-reference relaxation that index() relies on does not
+  /// survive a migration.
+  template <typename F>
+  decltype(auto) with_slot(std::size_t i, bool is_write, F&& fn) {
+    const auto& m = sim::CostModel::get();
+    sim::charge(m.rcua_index_ns);
+    PerLocale& p = priv();
+    const std::size_t bidx = i / block_size_;
+    const std::size_t off = i % block_size_;
+    const std::uint32_t here = cluster_.here();
+
+    auto helper = [&](Snapshot<T>* s) -> decltype(auto) {
+      RCUA_SCHED_POINT("rcua.index.deref_spine");
+      assert(bidx < s->num_blocks() && "index beyond current capacity");
+      Block<T>* b = s->block(bidx);
+      cluster_.comm().record_access(here, b->owner(), is_write);
+      sim::touch_block(b->id(), b->owner() != here, is_write,
+                       m.rcua_spine_miss_ns);
+      return fn((*b)[off], b);
+    };
+
+    if constexpr (Policy::is_qsbr) {
+      qsbr_->ensure_participant();
+      Snapshot<T>* s = p.global_snapshot.load(std::memory_order_acquire);
+      sim::charge(m.atomic_load_ns);
+      if (rt::FaultPlan* plan = cluster_.fault_plan()) {
+        plan->stall_here(here);  // chaos: stall while holding the snapshot
+      }
+      return helper(s);
+    } else if constexpr (Policy::is_interval) {
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      sim::charge(m.atomic_load_ns);
+      Snapshot<T>* s = guard.protect(p.global_snapshot);
+      if (rt::FaultPlan* plan = cluster_.fault_plan()) {
+        plan->stall_here(here);  // chaos: stall while holding a reservation
+      }
+      return helper(s);
+    } else {
+      return p.ebr.read([&]() -> decltype(auto) {
+        sim::charge(m.atomic_load_ns);
+        if (rt::FaultPlan* plan = cluster_.fault_plan()) {
+          plan->stall_here(here);  // chaos: stall mid-read-section
+        }
+        return helper(p.global_snapshot.load(std::memory_order_acquire));
+      });
+    }
+  }
+
   T& index_rw(std::size_t i, bool is_write, Block<T>** out_block = nullptr) {
     const auto& m = sim::CostModel::get();
     sim::charge(m.rcua_index_ns);
@@ -1347,11 +1668,14 @@ class RCUArray {
   reclaim::StallMonitor* monitor_;
   std::uint32_t max_publish_attempts_;
   std::size_t cache_capacity_;
+  std::uint32_t home_locale_;
   rt::GlobalLock write_lock_;
   int pid_;
   std::atomic<std::uint64_t> resizes_{0};
   std::atomic<std::uint64_t> broadcast_retries_{0};
   std::atomic<std::uint64_t> stalled_spines_{0};
+  std::atomic<std::uint64_t> rehomes_{0};
+  std::atomic<std::uint64_t> rehome_rollbacks_{0};
 };
 
 }  // namespace rcua

@@ -62,6 +62,24 @@ class Snapshot {
     return s;
   }
 
+  /// Clones `old` with the SAME block count but every pointer replaced by
+  /// `blocks` — the shard-migration publication (DESIGN.md §14): the new
+  /// spine is *not* a superset of the old one (unlike clone_append), so
+  /// the publisher must copy the element contents into the replacement
+  /// blocks BEFORE publishing and drain the old spine's readers before
+  /// freeing the replaced blocks. RCUArray::rehome owns that ordering.
+  static Snapshot* clone_replace(const Snapshot& old,
+                                 std::vector<Block<T>*> blocks) {
+    assert(blocks.size() == old.blocks_.size());
+    auto* s = new Snapshot;
+    s->version_ = old.version_ + 1;
+    s->blocks_ = std::move(blocks);
+    sim::charge(sim::CostModel::get().spine_copy_ns_per_block *
+                static_cast<double>(s->blocks_.size()));
+    RCUA_SCHED_POINT("snapshot.cloned");
+    return s;
+  }
+
   /// Clones `old` truncated to its first `keep_blocks` blocks (recycling
   /// the kept pointers). Used by the shrink extension.
   static Snapshot* clone_truncate(const Snapshot& old,

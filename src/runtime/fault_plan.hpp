@@ -45,8 +45,15 @@ class FaultPlan {
     /// Drop one locale's privatization broadcast step: RCUArray's
     /// resize replication skips that locale and must retry.
     kDropBroadcast = 3,
+    /// Kill a locale mid-shard-migration: the migration's copy loop
+    /// consults this rule (filtered on the DESTINATION locale) between
+    /// block copies, and a fire means the destination died before the
+    /// new mapping was published — the migration must roll back (free
+    /// the unpublished replacement blocks, keep the old mapping) with
+    /// no lost or duplicated elements (DESIGN.md §14).
+    kKillLocale = 4,
   };
-  static constexpr int kNumActions = 4;
+  static constexpr int kNumActions = 5;
 
   struct Rule {
     Action action = Action::kStallReader;
@@ -84,7 +91,7 @@ class FaultPlan {
 
   struct Stats {
     std::uint64_t consulted = 0;
-    std::uint64_t fired[kNumActions] = {0, 0, 0, 0};
+    std::uint64_t fired[kNumActions] = {0, 0, 0, 0, 0};
   };
   [[nodiscard]] Stats stats() const {
     std::lock_guard<plat::Spinlock> guard(mu_);

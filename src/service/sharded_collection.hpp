@@ -1,0 +1,441 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rcu_array.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/shard_map.hpp"
+#include "util/env.hpp"
+
+namespace rcua::svc {
+
+/// The elastic sharded-service layer (DESIGN.md §14): key ranges map
+/// onto RCUArray-backed shards, with the shard-mapping table itself an
+/// RCU-published snapshot (ShardMap). A ShardedCollection is a drop-in
+/// backend for the containers (same constructor shape and method subset
+/// as RCUArray), so DistVector / DistHashMap / DistIdTable become shard
+/// clients by swapping one template argument.
+///
+/// Layout: global block g lives in shard `g % shard_count` at local
+/// block `g / shard_count` (block-cyclic), so growth lands one block per
+/// shard per stride and every shard stays within one block of balanced.
+/// Each shard is an RCUArray pinned to a single home locale
+/// (Options::home_locale), which is what makes live migration a
+/// wholesale move: `migrate(shard, dst)` copies the shard's blocks to
+/// `dst` through the §10 async comm path (RCUArray::rehome), publishes a
+/// new ShardMap, and retires the old table through the configured
+/// Reclaimer policy once its readers drain. Routing a read is an RCU
+/// read of the mapping — stale routes are safe because map entries are
+/// locale ids (values), not pointers (see ShardMap).
+///
+/// Ordering rule (§14): migrate -> invalidate -> drain. rehome() owns
+/// copy-before-publish and the BlockCache invalidation interlock; the
+/// map publication here follows the same resize-style protocol as a
+/// spine swap. The remap lock serializes migrations against structural
+/// growth (resize_add), which is the serialization the rehome copy
+/// phase's concurrency contract requires.
+template <typename T, typename Policy = QsbrPolicy>
+class ShardedCollection {
+ public:
+  struct Options {
+    /// First two members mirror RCUArray::Options so the containers'
+    /// braced `{options.block_size, options.qsbr}` construction works
+    /// unchanged against either backend.
+    std::size_t block_size = 1024;
+    reclaim::Qsbr* qsbr = nullptr;
+    /// Number of shards; 0 defers to RCUA_SHARD_COUNT (itself defaulting
+    /// to the cluster's locale count — one shard per locale).
+    std::size_t shard_count = 0;
+    /// Forwarded to every shard's RCUArray (see RCUArray::Options).
+    std::size_t cache_capacity_bytes =
+        RCUArray<T, Policy>::Options::kCacheCapacityFromEnv;
+  };
+
+  using Backend = RCUArray<T, Policy>;
+  using BulkOptions = typename Backend::BulkOptions;
+
+  static constexpr bool uses_qsbr = Policy::is_qsbr;
+
+  ShardedCollection(rt::Cluster& cluster, std::size_t initial_capacity = 0,
+                    Options options = {})
+      : cluster_(cluster),
+        block_size_(options.block_size),
+        shard_count_(resolve_shard_count(options.shard_count, cluster)),
+        qsbr_(options.qsbr),
+        pid_(cluster.privatization().create()),
+        routed_(cluster.comm().registry().counter("rcua.service.routed",
+                                                  cluster.num_locales())),
+        routed_remote_(cluster.comm().registry().counter(
+            "rcua.service.routed_remote", cluster.num_locales())),
+        remaps_(cluster.comm().registry().counter("rcua.service.remaps")),
+        migrations_(
+            cluster.comm().registry().counter("rcua.service.migrations")),
+        migration_rollbacks_(cluster.comm().registry().counter(
+            "rcua.service.migration_rollbacks")),
+        migrated_blocks_(cluster.comm().registry().counter(
+            "rcua.service.migrated_blocks")),
+        migrated_bytes_(cluster.comm().registry().counter(
+            "rcua.service.migrated_bytes")) {
+    if (block_size_ == 0) throw std::invalid_argument("block_size == 0");
+    if (shard_count_ == 0) throw std::invalid_argument("shard_count == 0");
+    // Initial placement: shard s homed on locale s % num_locales — the
+    // balanced block-cyclic start the PressureMonitor perturbs from.
+    std::vector<std::uint32_t> home(shard_count_);
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      home[s] = static_cast<std::uint32_t>(s % cluster.num_locales());
+    }
+    shards_.reserve(shard_count_);
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      typename Backend::Options shard_opts;
+      shard_opts.block_size = block_size_;
+      shard_opts.qsbr = options.qsbr;
+      shard_opts.cache_capacity_bytes = options.cache_capacity_bytes;
+      shard_opts.home_locale = home[s];
+      shards_.push_back(std::make_unique<Backend>(cluster, /*capacity=*/0,
+                                                  shard_opts));
+    }
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      auto* p = new PerLocale;
+      p->map.store(new ShardMap(home), std::memory_order_relaxed);
+      cluster_.privatization().set(pid_, l, p);
+    });
+    if (initial_capacity > 0) resize_add(initial_capacity);
+  }
+
+  ~ShardedCollection() {
+    // Same contract as RCUArray: external quiescence at destruction.
+    for (std::uint32_t l = 0; l < cluster_.num_locales(); ++l) {
+      PerLocale* p = &priv_at(l);
+      delete p->map.load(std::memory_order_acquire);
+      delete p;
+    }
+    cluster_.privatization().destroy(pid_);
+  }
+
+  ShardedCollection(const ShardedCollection&) = delete;
+  ShardedCollection& operator=(const ShardedCollection&) = delete;
+
+  // -- Element access (routing read = RCU map read + shard op) ----------
+
+  T& index(std::size_t i) {
+    const Route r = route(i);
+    return shards_[r.shard]->index(r.local);
+  }
+  T& operator[](std::size_t i) { return index(i); }
+
+  T& at(std::size_t i) {
+    if (i >= capacity()) {
+      throw std::out_of_range("ShardedCollection::at: index " +
+                              std::to_string(i) + " >= capacity " +
+                              std::to_string(capacity()));
+    }
+    return index(i);
+  }
+
+  T read(std::size_t i) {
+    const Route r = route(i);
+    return shards_[r.shard]->read(r.local);
+  }
+
+  void write(std::size_t i, T value) {
+    const Route r = route(i);
+    shards_[r.shard]->write(r.local, std::move(value));
+  }
+
+  // -- Bulk operations ---------------------------------------------------
+
+  /// Per-global-block fan-out to the owning shards' aggregated bulk
+  /// paths. Within one shard, consecutive global blocks are consecutive
+  /// local blocks, so each shard-level call covers the longest contiguous
+  /// same-shard stretch of the range (the whole range when
+  /// shard_count == 1).
+  void bulk_read(std::size_t first, std::size_t count, T* out,
+                 BulkOptions opts = {}) {
+    for_each_span(first, count, [&](std::size_t shard, std::size_t local,
+                                    std::size_t global, std::size_t len) {
+      shards_[shard]->bulk_read(local, len, out + (global - first), opts);
+    });
+  }
+
+  [[nodiscard]] std::vector<T> bulk_read(std::size_t first, std::size_t count,
+                                         BulkOptions opts = {}) {
+    std::vector<T> out(count);
+    bulk_read(first, count, out.data(), opts);
+    return out;
+  }
+
+  void bulk_write(std::size_t first, std::span<const T> values,
+                  BulkOptions opts = {}) {
+    for_each_span(
+        first, values.size(),
+        [&](std::size_t shard, std::size_t local, std::size_t global,
+            std::size_t len) {
+          shards_[shard]->bulk_write(local,
+                                     values.subspan(global - first, len),
+                                     opts);
+        });
+  }
+
+  // -- Growth ------------------------------------------------------------
+
+  /// Grows total capacity by ceil(num_elements / block_size) blocks,
+  /// dealt block-cyclically across the shards. Serialized with
+  /// migrations by the remap lock (each shard's resize_add additionally
+  /// takes the cluster WriteLock, like any RCUArray resize).
+  void resize_add(std::size_t num_elements) {
+    const std::size_t nblocks =
+        (num_elements + block_size_ - 1) / block_size_;
+    if (nblocks == 0) return;
+    std::lock_guard<std::mutex> guard(remap_mu_);
+    const std::size_t base = total_blocks_.load(std::memory_order_relaxed);
+    std::vector<std::size_t> grow(shard_count_, 0);
+    for (std::size_t k = 0; k < nblocks; ++k) {
+      grow[(base + k) % shard_count_] += 1;
+    }
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      if (grow[s] != 0) shards_[s]->resize_add(grow[s] * block_size_);
+    }
+    // Release pairs with capacity()'s acquire: a capacity the caller
+    // observes is backed by fully published shard resizes.
+    total_blocks_.store(base + nblocks, std::memory_order_release);
+  }
+
+  // -- Live migration ----------------------------------------------------
+
+  /// Moves shard `shard` to locale `dst`: block copy + spine swap via
+  /// RCUArray::rehome (which owns copy-before-publish, the BlockCache
+  /// invalidation interlock, and the reader drain), then the ShardMap
+  /// publication below. Returns false when a FaultPlan kKillLocale fault
+  /// rolled the copy back — the old mapping stays live and no element
+  /// was lost or duplicated.
+  bool migrate(std::size_t shard, std::uint32_t dst) {
+    if (shard >= shard_count_) {
+      throw std::invalid_argument("migrate: shard out of range");
+    }
+    obs::TraceSpan span("svc.migrate", "service", dst);
+    std::lock_guard<std::mutex> guard(remap_mu_);
+    Backend& b = *shards_[shard];
+    const std::size_t blocks = b.num_blocks();
+    if (!b.rehome(dst)) {
+      migration_rollbacks_.add();
+      return false;
+    }
+    publish_map(shard, dst);
+    migrations_.add();
+    migrated_blocks_.add(blocks);
+    migrated_bytes_.add(blocks * block_size_ * sizeof(T));
+    return true;
+  }
+
+  /// Publishes a new ShardMap with shard -> dst WITHOUT moving blocks —
+  /// the pure remap (a resize-style publication of the mapping table).
+  /// migrate() calls this after the copy lands; it is public so tests
+  /// can exercise remap-concurrent-with-lookup in isolation.
+  void remap(std::size_t shard, std::uint32_t dst) {
+    if (shard >= shard_count_) {
+      throw std::invalid_argument("remap: shard out of range");
+    }
+    std::lock_guard<std::mutex> guard(remap_mu_);
+    publish_map(shard, dst);
+  }
+
+  // -- Introspection -----------------------------------------------------
+
+  [[nodiscard]] std::size_t capacity() const {
+    return total_blocks_.load(std::memory_order_acquire) * block_size_;
+  }
+  [[nodiscard]] std::size_t num_blocks() const {
+    return total_blocks_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_count_;
+  }
+  /// Sum of the shards' resize counts (the DistHashMap growths() feed).
+  [[nodiscard]] std::uint64_t resize_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->resize_count();
+    return n;
+  }
+  /// The underlying shard (tests, PressureMonitor).
+  [[nodiscard]] Backend& shard(std::size_t s) { return *shards_[s]; }
+  /// Routing read of shard `s`'s home in the calling locale's current
+  /// mapping (an RCU read of the privatized table).
+  [[nodiscard]] std::uint32_t home_of(std::size_t s) {
+    return read_map([&](const ShardMap& m) { return m.home(s); });
+  }
+  /// Version of the calling locale's current mapping table.
+  [[nodiscard]] std::uint64_t map_version() {
+    return read_map([](const ShardMap& m) { return m.version(); });
+  }
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_.value();
+  }
+  [[nodiscard]] std::uint64_t migration_rollbacks() const noexcept {
+    return migration_rollbacks_.value();
+  }
+  [[nodiscard]] std::uint64_t remaps() const noexcept {
+    return remaps_.value();
+  }
+  [[nodiscard]] std::uint64_t migrated_blocks() const noexcept {
+    return migrated_blocks_.value();
+  }
+  [[nodiscard]] std::uint64_t routed() const noexcept {
+    return routed_.value();
+  }
+  [[nodiscard]] std::uint64_t routed_remote() const noexcept {
+    return routed_remote_.value();
+  }
+  [[nodiscard]] rt::Cluster& cluster() noexcept { return cluster_; }
+
+ private:
+  struct alignas(plat::kCacheLine) PerLocale {
+    std::atomic<ShardMap*> map{nullptr};
+    // The mapping table's own reclaimer instance, same policy shape as
+    // the spine's (one stripe under QSBR, where it is never exercised).
+    typename Policy::Reclaimer ebr{0, Policy::is_qsbr ? std::size_t{1}
+                                                      : std::size_t{0}};
+  };
+
+  struct Route {
+    std::size_t shard;
+    std::size_t local;
+  };
+
+  static std::size_t resolve_shard_count(std::size_t opt,
+                                         rt::Cluster& cluster) {
+    if (opt != 0) return opt;
+    return static_cast<std::size_t>(
+        util::env_u64("RCUA_SHARD_COUNT", cluster.num_locales()));
+  }
+
+  [[nodiscard]] PerLocale& priv() const { return priv_at(cluster_.here()); }
+  [[nodiscard]] PerLocale& priv_at(std::uint32_t locale) const {
+    auto* p =
+        static_cast<PerLocale*>(cluster_.privatization().get(pid_, locale));
+    assert(p != nullptr);
+    return *p;
+  }
+
+  /// The RCU read of the mapping table: pins the calling locale's table
+  /// under the policy's read-side protocol (the exact index_rw idiom),
+  /// runs `fn` against it, and releases. `fn` must not escape pointers
+  /// into the table — locale ids are values, copy them out.
+  template <typename F>
+  auto read_map(F&& fn) {
+    PerLocale& p = priv();
+    if constexpr (Policy::is_qsbr) {
+      qsbr().ensure_participant();
+      return fn(*p.map.load(std::memory_order_acquire));
+    } else if constexpr (Policy::is_interval) {
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      return fn(*guard.protect(p.map));
+    } else {
+      typename Policy::Reclaimer::ReadGuard guard(p.ebr);
+      return fn(*p.map.load(std::memory_order_acquire));
+    }
+  }
+
+  [[nodiscard]] reclaim::Qsbr& qsbr() const noexcept {
+    return qsbr_ != nullptr ? *qsbr_ : reclaim::Qsbr::global();
+  }
+
+  /// Block-cyclic routing + the routing metrics: one routed count per
+  /// element op, routed_remote when the mapping says the shard's home is
+  /// not the calling locale.
+  Route route(std::size_t i) {
+    const std::size_t g = i / block_size_;
+    const std::size_t shard = g % shard_count_;
+    const std::size_t local =
+        (g / shard_count_) * block_size_ + (i % block_size_);
+    const std::uint32_t here = cluster_.here();
+    routed_.add_at(here);
+    const std::uint32_t home =
+        read_map([&](const ShardMap& m) { return m.home(shard); });
+    if (home != here) routed_remote_.add_at(here);
+    return Route{shard, local};
+  }
+
+  /// Decomposes [first, first+count) into maximal spans that stay inside
+  /// one shard's contiguous local range; calls
+  /// fn(shard, local_first, global_first, len) per span.
+  template <typename F>
+  void for_each_span(std::size_t first, std::size_t count, F&& fn) {
+    if (count == 0) return;
+    if (first + count < first || first + count > capacity()) {
+      throw std::out_of_range("ShardedCollection: bulk range beyond capacity");
+    }
+    std::size_t i = first;
+    const std::size_t end = first + count;
+    while (i < end) {
+      const std::size_t g = i / block_size_;
+      const std::size_t shard = g % shard_count_;
+      std::size_t span_end = std::min(end, (g + 1) * block_size_);
+      if (shard_count_ == 1) span_end = end;
+      const std::size_t local =
+          (g / shard_count_) * block_size_ + (i % block_size_);
+      fn(shard, local, i, span_end - i);
+      i = span_end;
+    }
+  }
+
+  /// The resize-style mapping publication: per locale, clone the table
+  /// with the shard re-homed, swap, and reclaim the old table through the
+  /// configured policy once that locale's routing readers drain.
+  /// Deliberately BLOCKING under the era policies too (like
+  /// resize_remove): tables are a few dozen bytes and remaps are rare,
+  /// so a bounded wait beats threading the overflow machinery through a
+  /// second object type. Caller holds remap_mu_.
+  void publish_map(std::size_t shard, std::uint32_t dst) {
+    cluster_.coforall_locales([&](std::uint32_t l) {
+      PerLocale& p = priv_at(l);
+      ShardMap* old = p.map.load(std::memory_order_relaxed);
+      ShardMap* fresh = ShardMap::clone_set(*old, shard, dst);
+      RCUA_SCHED_POINT("svc.remap.publish");
+      p.map.store(fresh, std::memory_order_release);
+      RCUA_SCHED_POINT("svc.remap.published");
+      obs::trace_instant("svc.remap.publish", "service", l);
+      if constexpr (Policy::is_qsbr) {
+        qsbr().defer_delete(old);
+      } else if constexpr (Policy::is_interval) {
+        const std::uint64_t fence = p.ebr.advance_era();
+        p.ebr.wait_for_readers(fence);
+        delete old;
+      } else {
+        const auto epoch = p.ebr.advance_epoch();
+        p.ebr.wait_for_readers(epoch);
+        delete old;
+      }
+    });
+    remaps_.add();
+  }
+
+  rt::Cluster& cluster_;
+  std::size_t block_size_;
+  std::size_t shard_count_;
+  reclaim::Qsbr* qsbr_;
+  int pid_;
+  std::vector<std::unique_ptr<Backend>> shards_;
+  std::atomic<std::size_t> total_blocks_{0};
+  /// Serializes migrations, remaps and collection-level growth.
+  std::mutex remap_mu_;
+  obs::Counter& routed_;
+  obs::Counter& routed_remote_;
+  obs::Counter& remaps_;
+  obs::Counter& migrations_;
+  obs::Counter& migration_rollbacks_;
+  obs::Counter& migrated_blocks_;
+  obs::Counter& migrated_bytes_;
+};
+
+}  // namespace rcua::svc

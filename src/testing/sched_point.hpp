@@ -127,6 +127,22 @@ struct Mutations {
   /// same premature release expressed against raw pointer slots
   /// (tests/test_sched_hazard.cpp).
   bool hazard_clear_before_access = false;
+  /// Shard migration (RCUArray::rehome): publish the replacement spine
+  /// BEFORE draining the pipelined block-copy futures. Plausible (the
+  /// copies were issued under the in-flight window before the publish,
+  /// and "the wire preserves order") but unsound: a reader that loads
+  /// the fresh spine between the publish and the copy drain reads
+  /// replacement blocks whose contents never arrived — a value the
+  /// array never stored (DESIGN.md §14; tests/test_sched_migration.cpp).
+  bool migrate_publish_before_copy_complete = false;
+  /// Shard migration (RCUArray::rehome): free the replaced source blocks
+  /// BEFORE draining the readers of the old block mapping. Plausible
+  /// (the new mapping is already published everywhere, so "no new reader
+  /// can route to the old blocks") but unsound: a reader whose section
+  /// pinned the OLD spine before the publish still holds pointers into
+  /// the replaced blocks — the migrate→invalidate→drain ordering rule
+  /// (DESIGN.md §14; tests/test_sched_migration.cpp).
+  bool migrate_reclaim_before_mapping_drain = false;
 };
 [[nodiscard]] Mutations& mutations() noexcept;
 
